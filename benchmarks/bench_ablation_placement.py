@@ -1,0 +1,80 @@
+"""Ablation: bandwidth-aware placement vs fixed interleave ratios (§3.4).
+
+Sweeps offered demand on one SNC domain and compares average loaded
+latency under DRAM-only, the kernel's fixed N:M ratios, and the
+optimizer's split — quantifying the paper's recommendation to "regard
+CXL memory as a valuable resource for load balancing, even when local
+DRAM bandwidth is not fully utilized".
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import BandwidthAwarePlacer
+from repro.hw import paper_cxl_platform
+
+
+@pytest.fixture(scope="module")
+def placer():
+    platform = paper_cxl_platform(snc_enabled=True)
+    dram = platform.dram_nodes(0)[0]
+    cxl = platform.cxl_nodes()[0]
+    return BandwidthAwarePlacer(
+        platform.path(0, dram.node_id, initiator_domain=dram.domain),
+        platform.path(0, cxl.node_id),
+    )
+
+
+def test_ablation_placement_sweep(benchmark, placer, report):
+    peak = placer.dram_path.peak_bandwidth(0.0)
+    levels = (0.3, 0.5, 0.7, 0.8, 0.9, 1.0, 1.2)
+    fixed_ratios = {"dram-only": 0.0, "3:1": 0.25, "1:1": 0.5, "1:3": 0.75}
+
+    def run():
+        rows = []
+        for level in levels:
+            demand = level * peak
+            report_ = placer.optimal_split(demand)
+            row = [f"{level * 100:.0f}%"]
+            for name, frac in fixed_ratios.items():
+                row.append(f"{placer.split_point(frac, demand).average_latency_ns:.0f}")
+            row.append(
+                f"{report_.best.average_latency_ns:.0f} (x={report_.best.cxl_fraction:.2f})"
+            )
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report(
+        "ablation_placement",
+        ascii_table(
+            ["demand/DRAM-peak"] + list(fixed_ratios) + ["optimal (ns, split)"],
+            rows,
+        ),
+    )
+
+    # At every demand, the optimizer is no worse than any fixed ratio.
+    for level in levels:
+        demand = level * peak
+        best = placer.optimal_split(demand).best.average_latency_ns
+        for frac in fixed_ratios.values():
+            assert best <= placer.split_point(frac, demand).average_latency_ns + 1e-9
+
+    # Below the knee, dram-only wins; past it, offloading wins decisively.
+    low = placer.optimal_split(0.3 * peak)
+    high = placer.optimal_split(1.0 * peak)
+    assert low.best.cxl_fraction == 0.0
+    assert high.best.cxl_fraction >= 0.2
+    assert high.latency_gain > 0.4
+
+
+def test_ablation_recommended_ratio_tracks_demand(benchmark, placer, report):
+    benchmark.pedantic(lambda: None, rounds=1)  # artifact test; timing in sibling bench
+    peak = placer.dram_path.peak_bandwidth(0.0)
+    rows = []
+    for level in (0.5, 0.8, 0.95, 1.1, 1.4):
+        ratio = placer.recommend_ratio(level * peak)
+        rows.append((f"{level * 100:.0f}%", ratio or "dram-only"))
+    report("ablation_recommended_ratio", ascii_table(["demand", "N:M"], rows))
+    assert rows[0][1] == "dram-only"
+    assert rows[-1][1] != "dram-only"

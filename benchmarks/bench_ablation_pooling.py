@@ -1,0 +1,104 @@
+"""Ablation: CXL 2.0 pooling — latency tax vs stranding savings (§7.1).
+
+The paper's discussion section argues future pooled deployments trade a
+switch-hop latency tax for large capacity-stranding savings.  This
+ablation quantifies both sides on the extended model: the pooled access
+surface vs direct-attach and remote-socket CXL, and the TCO effect of
+pooling across hosts with non-coincident demand peaks, fed end-to-end
+into the §6 Abstract Cost Model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ascii_table
+from repro.core import AbstractCostModel, PoolSavingsModel
+from repro.hw import CxlSwitch, MemoryPool, a1000_card
+from repro.hw.calibration import path_latency_model
+
+
+def make_pool(devices=8):
+    return MemoryPool(tuple(a1000_card() for _ in range(devices)), CxlSwitch())
+
+
+def test_ablation_pooled_latency_surface(benchmark, report):
+    pool = benchmark(make_pool)
+    rows = [
+        ("CXL direct-attach (1.1)", f"{path_latency_model('cxl_local').idle_ns(0.0):.0f} ns"),
+        ("CXL pooled, 1 switch hop", f"{pool.latency_model(1).idle_ns(0.0):.0f} ns"),
+        ("CXL pooled, 2 switch hops", f"{pool.latency_model(2).idle_ns(0.0):.0f} ns"),
+        ("CXL remote socket (RSF)", f"{path_latency_model('cxl_remote').idle_ns(0.0):.0f} ns"),
+    ]
+    report("ablation_pooling_latency", ascii_table(["access", "idle latency"], rows))
+    # One-hop pooling lands between direct-attach and the RSF cliff.
+    assert (
+        path_latency_model("cxl_local").idle_ns(0.0)
+        < pool.latency_model(1).idle_ns(0.0)
+        < path_latency_model("cxl_remote").idle_ns(0.0)
+    )
+
+
+def test_ablation_pooling_stranding_savings(benchmark, report):
+    rng = np.random.default_rng(11)
+
+    def demands(correlation):
+        hosts, samples = 16, 400
+        base = rng.uniform(40, 80, size=(hosts, samples))
+        peak = np.zeros((hosts, samples))
+        for i in range(hosts):
+            if correlation == "offset":
+                lo = (i * samples) // hosts
+                peak[i, lo : lo + samples // hosts] = 240.0
+            else:  # coincident peaks
+                peak[i, : samples // hosts] = 240.0
+        return base + peak
+
+    def run():
+        rows = []
+        out = {}
+        for kind in ("offset", "coincident"):
+            model = PoolSavingsModel(demands(kind))
+            r_t = model.effective_r_t(10_000, 2_500, 400)
+            tco = AbstractCostModel(r_d=10, r_c=8, c=2, r_t=max(r_t, 0.4))
+            rows.append(
+                (
+                    kind,
+                    f"{model.stranded_fraction * 100:.0f}%",
+                    f"{r_t:.3f}",
+                    f"{tco.tco_saving() * 100:.1f}%",
+                )
+            )
+            out[kind] = model.stranded_fraction
+        return rows, out
+
+    rows, out = benchmark.pedantic(run, rounds=1)
+    report(
+        "ablation_pooling_savings",
+        ascii_table(
+            ["host peak timing", "capacity saved", "effective R_t", "TCO saving (§6)"],
+            rows,
+        ),
+    )
+    # Pooling pays when peaks don't coincide; barely when they do.
+    assert out["offset"] > out["coincident"] + 0.2
+
+
+def test_ablation_pool_port_scaling(benchmark, report):
+    """CXL 2.0's 16-host limit binds the pool's blast radius."""
+    benchmark.pedantic(lambda: None, rounds=1)  # artifact test; timing in sibling bench
+    pool = make_pool(devices=8)
+    from repro.units import GIB
+
+    hosts = 0
+    try:
+        for i in range(32):
+            pool.allocate(f"h{i}", 8 * GIB)
+            hosts += 1
+    except Exception:
+        pass
+    report(
+        "ablation_pooling_ports",
+        f"hosts admitted before port exhaustion: {hosts} "
+        f"(switch ports: {pool.switch.ports})",
+    )
+    assert hosts == pool.switch.ports - 1

@@ -1,0 +1,88 @@
+"""Ablation: bandwidth QoS — throttling flows away from the latency knee.
+
+§5.3's closing demand ("the definition of tiered memory requires
+rethinking" — placement and migration must respect bandwidth headroom)
+implies an enforcement mechanism.  This ablation runs the MT²-style
+latency guard against the contention scenario of §3: a latency-
+sensitive probe sharing a DRAM node with an unbounded batch flow, with
+and without the guard, sweeping the guard's utilization target.
+"""
+
+import pytest
+
+from repro.analysis import ascii_table
+from repro.hw import paper_cxl_platform
+from repro.mem.qos import LatencyGuard
+from repro.units import gb_per_s
+
+
+@pytest.fixture(scope="module")
+def setup():
+    platform = paper_cxl_platform(snc_enabled=True)
+    node = platform.dram_nodes(0)[0]
+    path = platform.path(0, node.node_id, initiator_domain=node.domain)
+    return platform, node, path
+
+
+def run_rounds(platform, node, path, target, rounds=60, measure_last=30):
+    """Returns (mean probe latency, mean batch throughput) at steady
+    state — averaged over the last rounds because AIMD oscillates
+    around the cap by design."""
+    guard = None
+    if target is not None:
+        guard = LatencyGuard(
+            resource=node.resource.name,
+            best_effort_sources=["batch"],
+            target_utilization=target,
+            max_rate=gb_per_s(64),
+        )
+    latencies, batches = [], []
+    for round_index in range(rounds):
+        demands = [
+            platform.demand("probe", path, gb_per_s(8.0)),
+            platform.demand("batch", path, gb_per_s(64.0)),
+        ]
+        if guard is not None:
+            demands = guard.shape(demands)
+        result = platform.allocate(demands)
+        if guard is not None:
+            guard.observe(result)
+        u = path.bottleneck_utilization(result.utilization)
+        if round_index >= rounds - measure_last:
+            latencies.append(path.loaded_latency_ns(u, 0.0))
+            batches.append(result.achieved["batch"])
+    return sum(latencies) / len(latencies), sum(batches) / len(batches)
+
+
+def test_ablation_qos_target_sweep(benchmark, setup, report):
+    platform, node, path = setup
+
+    def run():
+        rows = []
+        for target in (None, 0.9, 0.8, 0.75, 0.65):
+            latency, batch = run_rounds(platform, node, path, target)
+            rows.append(
+                (
+                    "unguarded" if target is None else f"{target * 100:.0f}%",
+                    f"{latency:.0f} ns",
+                    f"{batch / 1e9:.1f} GB/s",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report(
+        "ablation_qos",
+        ascii_table(
+            ["guard target", "probe loaded latency", "batch throughput"], rows
+        ),
+    )
+    unguarded_latency = float(rows[0][1].split()[0])
+    guarded_latencies = [float(r[1].split()[0]) for r in rows[1:]]
+    # The guard buys a large latency improvement at every target...
+    assert all(unguarded_latency > 3 * g for g in guarded_latencies)
+    # ...and the loosest target keeps more batch throughput than the
+    # tightest (AIMD oscillation makes the interior non-strict).
+    batches = [float(r[2].split()[0]) for r in rows[1:]]
+    assert batches[0] > batches[-1]
+    assert all(b < float(rows[0][2].split()[0]) for b in batches)

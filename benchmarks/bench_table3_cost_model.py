@@ -1,0 +1,74 @@
+"""Table 3 / §6: the Abstract Cost Model — worked example and measured run.
+
+Reproduces the paper's example exactly (N_cxl/N_baseline = 67.29 %,
+TCO saving = 25.98 %), then feeds the model with R_d/R_c *measured* on
+the simulated Spark substrate, and sweeps the sensitivity dimensions §6
+flags (server premium, capacity ratio, CXL performance).
+"""
+
+import pytest
+
+from repro.analysis import TABLE3, ascii_table
+from repro.apps.spark import measure_cost_model_inputs
+from repro.core import AbstractCostModel, sweep_c, sweep_r_c, sweep_r_t
+
+
+def test_table3_parameters(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1)  # artifact test; timing in sibling bench
+    report(
+        "table3_parameters",
+        ascii_table(["parameter", "description", "example"], TABLE3),
+    )
+    assert len(TABLE3) == 8
+
+
+def test_cost_model_paper_example(benchmark, report):
+    model = AbstractCostModel.paper_example()
+    estimate = benchmark(model.estimate)
+    rows = [
+        ("N_cxl / N_baseline", f"{estimate.server_ratio * 100:.2f}%"),
+        ("servers saved", f"{estimate.servers_saved_fraction * 100:.2f}%"),
+        ("TCO saving", f"{estimate.tco_saving * 100:.2f}%"),
+        ("breakeven R_t", f"{model.breakeven_r_t():.3f}"),
+    ]
+    report("table3_worked_example", ascii_table(["quantity", "value"], rows))
+    assert estimate.server_ratio == pytest.approx(0.6729, abs=2e-4)
+    assert estimate.tco_saving == pytest.approx(0.2598, abs=2e-4)
+
+
+def test_cost_model_with_measured_inputs(benchmark, report):
+    inputs = benchmark.pedantic(measure_cost_model_inputs, rounds=1)
+    model = AbstractCostModel.from_measurements(
+        r_d=inputs.r_d, r_c=inputs.r_c, c=2.0, r_t=1.1
+    )
+    estimate = model.estimate()
+    rows = [
+        ("measured R_d", f"{inputs.r_d:.2f}"),
+        ("measured R_c", f"{inputs.r_c:.2f}"),
+        ("N_cxl / N_baseline", f"{estimate.server_ratio * 100:.2f}%"),
+        ("TCO saving", f"{estimate.tco_saving * 100:.2f}%"),
+    ]
+    report("table3_measured_inputs", ascii_table(["quantity", "value"], rows))
+    assert inputs.r_d > inputs.r_c > 1.0
+    assert 0.0 < estimate.server_ratio < 1.0
+
+
+def test_cost_model_sensitivity_sweeps(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1)  # artifact test; timing in sibling bench
+    model = AbstractCostModel.paper_example()
+    lines = []
+    for name, points in (
+        ("R_t", sweep_r_t(model, [1.0, 1.05, 1.1, 1.2, 1.3, 1.486])),
+        ("C", sweep_c(model, [4.0, 3.0, 2.0, 1.0, 0.5])),
+        ("R_c", sweep_r_c(model, [2.0, 4.0, 6.0, 8.0, 9.9])),
+    ):
+        lines.append(f"sweep over {name}:")
+        for p in points:
+            lines.append(
+                f"  {name}={p.value:<6.3g} ratio={p.server_ratio:.4f} "
+                f"saving={p.tco_saving * 100:6.2f}%"
+            )
+    report("table3_sensitivity", "\n".join(lines))
+    # Saving hits ~0 at the breakeven premium.
+    breakeven = sweep_r_t(model, [model.breakeven_r_t()])[0]
+    assert breakeven.tco_saving == pytest.approx(0.0, abs=1e-9)

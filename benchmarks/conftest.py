@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure) and
+both prints the series/rows and writes them to ``benchmarks/out/`` so
+the reproduction can be compared against the paper after a
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Returns ``report(name, text)``: print and persist one artifact."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n[saved to {path}]")
+
+    return _report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write an index of every regenerated artifact."""
+    if not OUT_DIR.exists():
+        return
+    artifacts = sorted(p for p in OUT_DIR.glob("*.txt"))
+    if not artifacts:
+        return
+    lines = [
+        "# Regenerated artifacts",
+        "",
+        "One file per paper table/figure/ablation, written by",
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    for path in artifacts:
+        lines.append(f"- `{path.name}`")
+    (OUT_DIR / "INDEX.md").write_text("\n".join(lines) + "\n")

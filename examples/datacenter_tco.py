@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""End-to-end TCO study: measure, model, decide (§4.2 + §6 + §4.3).
+
+The full §6 workflow a capacity planner would run:
+
+1. measure ``R_d`` and ``R_c`` with the prescribed single-server
+   microbenchmarks (here: against the simulated Spark substrate);
+2. feed the Abstract Cost Model and read off server count and TCO
+   savings for the fleet;
+3. stress the decision: how expensive may a CXL server get, how much
+   CXL capacity is worth buying;
+4. add the §4.3 spare-core revenue angle for the elastic-compute fleet.
+
+Run:  python examples/datacenter_tco.py
+"""
+
+from repro.analysis import ascii_table
+from repro.apps.spark import measure_cost_model_inputs
+from repro.core import (
+    AbstractCostModel,
+    SpareCoreModel,
+    fixed_cost_r_t,
+    sweep_c,
+    sweep_r_t,
+)
+
+
+def main() -> None:
+    # --- 1. measure (§6's P_s / R_d / R_c microbenchmarks) ----------------
+    print("measuring cost-model inputs on the simulated Spark substrate...")
+    inputs = measure_cost_model_inputs()
+    print(f"  R_d = {inputs.r_d:.2f}, R_c = {inputs.r_c:.2f} (P_s normalized to 1)\n")
+
+    # --- 2. model ---------------------------------------------------------
+    # Fold real component prices into R_t as §6 prescribes.
+    r_t = fixed_cost_r_t(
+        base_server_cost=12_000,
+        cxl_memory_cost=900,  # 512 GB of DDR5 behind the expanders
+        controller_cost=250,  # two A1000-class controllers
+        cabling_cost=50,
+    )
+    model = AbstractCostModel.from_measurements(
+        r_d=inputs.r_d, r_c=inputs.r_c, c=2.0, r_t=r_t
+    )
+    estimate = model.estimate()
+    print(
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ("R_t (from component prices)", f"{r_t:.3f}"),
+                ("N_cxl / N_baseline", f"{estimate.server_ratio * 100:.1f}%"),
+                ("servers saved", f"{estimate.servers_saved_fraction * 100:.1f}%"),
+                ("TCO saving", f"{estimate.tco_saving * 100:.1f}%"),
+                ("breakeven R_t", f"{model.breakeven_r_t():.3f}"),
+            ],
+            title="Abstract Cost Model with measured inputs:",
+        )
+    )
+
+    # --- 3. sensitivity -----------------------------------------------------
+    print("\nTCO saving vs CXL-server premium:")
+    for p in sweep_r_t(model, [1.0, 1.1, 1.2, 1.3, 1.4]):
+        print(f"  R_t={p.value:.2f}: saving {p.tco_saving * 100:6.1f}%")
+    print("\nTCO saving vs MMEM:CXL capacity ratio (smaller C = more CXL):")
+    for p in sweep_c(model, [4.0, 2.0, 1.0]):
+        print(f"  C={p.value:.1f}: saving {p.tco_saving * 100:6.1f}%")
+
+    # --- 4. the whole fleet at once --------------------------------------------
+    from repro import paper_cxl_platform
+    from repro.core import FleetPlanner, WorkloadClass
+
+    planner = FleetPlanner(paper_cxl_platform(snc_enabled=True))
+    fleet = planner.plan(
+        [
+            WorkloadClass("kv-stores", servers=120, memory_pressure=1.5,
+                          r_d=inputs.r_d, r_c=inputs.r_c, c=2.0, r_t=r_t),
+            WorkloadClass("llm-inference", servers=60, memory_pressure=0.4,
+                          bandwidth_pressure=0.9),
+            WorkloadClass("web", servers=300, memory_pressure=0.4),
+            WorkloadClass("elastic-compute", servers=200, memory_pressure=0.8,
+                          vcpu_actual_ratio=3.0),
+        ]
+    )
+    print("\nFleet plan:")
+    for plan in fleet.plans:
+        print(f"  {plan.workload.name:16s} [{plan.verdict.value:24s}] {plan.detail}")
+    print(
+        f"  fleet: {fleet.servers_before} -> {fleet.servers_after} servers, "
+        f"weighted TCO saving {fleet.fleet_tco_saving() * 100:.1f}%, "
+        f"{fleet.classes_adopting_cxl}/4 classes adopt CXL"
+    )
+
+    # --- 5. the spare-core angle (§4.3) ---------------------------------------
+    spare = SpareCoreModel(actual_ratio=3.0, target_ratio=4.0, discount=0.20)
+    print(
+        f"\nElastic-compute fleet at 1:3 vCPU:memory:\n"
+        f"  stranded vCPUs: {spare.stranded_fraction * 100:.0f}% -> CXL-backed "
+        f"instances at {spare.discount * 100:.0f}% discount recover "
+        f"{spare.recovered_revenue_fraction * 100:.1f}% additional revenue\n"
+        f"  CXL needed for a 1152-vCPU Sierra Forest box: "
+        f"{spare.required_cxl_bytes(1152, 4 * 2**30) / 2**40:.2f} TiB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Graph analytics on CXL memory: a §7.2 study with the trace replayer.
+
+§7.2 singles out Graph Neural Networks and genomics — "immense memory
+requirements for processing entire graphs" — as the next CXL
+beneficiaries.  This example runs a graph-walk access trace (local
+neighborhoods + power-law jumps) against several placements, with and
+without the hot-page daemon, and closes with the advisor's verdict.
+
+Run:  python examples/graph_analytics_study.py
+"""
+
+import numpy as np
+
+from repro import paper_cxl_platform
+from repro.analysis import ascii_table
+from repro.apps import TraceReplayer
+from repro.core import ConfigAdvisor, WorkloadProfile
+from repro.mem import AddressSpace, HotPageSelectionDaemon, MemoryInventory, numactl
+from repro.units import GIB, gb_per_s
+from repro.workloads import graph_walk_trace, zipfian_trace
+
+PAGES = 4096
+ACCESSES = 150_000
+
+
+def run_placement(platform, trace, policy_name, with_daemon=False):
+    space = AddressSpace(MemoryInventory(platform))
+    if policy_name == "dram":
+        policy = numactl.membind(platform, socket=0)
+    elif policy_name == "cxl":
+        policy = numactl.membind(platform, cxl_only=True)
+    else:
+        n, m = (int(x) for x in policy_name.split(":"))
+        policy = numactl.tier_interleave(platform, n, m)
+    space.allocate_pages(PAGES, policy)
+    daemon = None
+    if with_daemon:
+        daemon = HotPageSelectionDaemon(
+            space,
+            dram_nodes=[platform.dram_nodes(0)[0].node_id],
+            cxl_nodes=[n.node_id for n in platform.cxl_nodes()],
+            scan_period_ns=1e6,
+            promote_rate_limit_bytes_per_s=gb_per_s(0.5),
+            initial_threshold=2.0,
+        )
+    replayer = TraceReplayer(platform, space, tiering=daemon)
+    return replayer.replay(trace)
+
+
+def main() -> None:
+    platform = paper_cxl_platform(snc_enabled=False)
+    rng = np.random.default_rng(42)
+    traces = {
+        "graph walk (GNN-like)": graph_walk_trace(PAGES, ACCESSES, rng=rng),
+        "zipfian (feature cache)": zipfian_trace(PAGES, ACCESSES, rng=rng),
+    }
+
+    for name, trace in traces.items():
+        rows = []
+        for placement in ("dram", "3:1", "1:1", "cxl"):
+            result = run_placement(platform, trace, placement)
+            rows.append(
+                (
+                    placement,
+                    f"{result.average_latency_ns:.0f} ns",
+                    f"{result.latency.percentile(99) / 1000:.2f} us",
+                )
+            )
+        tiered = run_placement(platform, trace, "1:1", with_daemon=True)
+        rows.append(
+            (
+                "1:1 + hot-promote",
+                f"{tiered.average_latency_ns:.0f} ns",
+                f"{tiered.latency.percentile(99) / 1000:.2f} us",
+            )
+        )
+        print(
+            ascii_table(
+                ["placement", "avg access latency", "p99"],
+                rows,
+                title=f"\n{name} ({trace.reuse_factor():.1f} accesses/page):",
+            )
+        )
+
+    # What does the advisor make of a big GNN job?
+    advisor = ConfigAdvisor(platform)
+    profile = WorkloadProfile(
+        demand_bytes_per_s=gb_per_s(40),
+        write_fraction=0.1,
+        working_set_bytes=900 * GIB,  # whole graph + features
+        locality=0.5,  # neighborhoods reuse, jumps don't
+    )
+    print("\nAdvisor on a 900 GiB GNN training job:")
+    for advice in advisor.advise(profile):
+        print(f"  [{advice.severity.value:9s}] {advice.code}: {advice.message}")
+
+
+if __name__ == "__main__":
+    main()

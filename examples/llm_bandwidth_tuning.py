@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Tuning MMEM:CXL interleave for CPU LLM inference (§5 as a workflow).
+
+Scenario: a fleet of 12-thread Alpaca-7B backends is pinned to one
+SNC-4 domain whose two DDR5 channels saturate early.  How should pages
+be interleaved across DRAM and the A1000 card as the backend count
+grows?  This example sweeps Fig. 10(a), shows the crossovers, validates
+the analytic sweep against the event-driven router, and cross-checks
+the pick against the bandwidth-aware placement optimizer.
+
+Run:  python examples/llm_bandwidth_tuning.py
+"""
+
+import numpy as np
+
+from repro import paper_cxl_platform
+from repro.analysis import ascii_table
+from repro.apps.llm import LLM_CONFIGS, LlmRouter, LlmServingExperiment
+from repro.core import BandwidthAwarePlacer
+from repro.workloads import chat_trace
+
+
+def main() -> None:
+    experiments = {c: LlmServingExperiment(c) for c in LLM_CONFIGS}
+
+    # --- Fig. 10(a): the serving-rate sweep -------------------------------
+    rows = []
+    best_per_count = {}
+    for backends in range(1, 7):
+        row = [backends * 12]
+        rates = {}
+        for config in LLM_CONFIGS:
+            point = experiments[config].serving_point(backends)
+            rates[config] = point.tokens_per_second
+            row.append(f"{point.tokens_per_second:6.0f}")
+        best = max(rates, key=rates.get)
+        best_per_count[backends * 12] = best
+        row.append(best)
+        rows.append(row)
+    print(
+        ascii_table(
+            ["threads"] + list(LLM_CONFIGS) + ["best"],
+            rows,
+            title="Fig. 10(a): serving rate (tokens/s) per placement:",
+        )
+    )
+    print(
+        "\nTakeaway: MMEM-only wins while the domain is unsaturated; past "
+        "48 threads the\ninterleaves take over (3:1 first), exactly the "
+        "paper's §5.2 result.\n"
+    )
+
+    # --- cross-check with the event-driven serving stack -----------------
+    best60 = best_per_count[60]
+    router = LlmRouter(experiments[best60], backends=5)
+    requests = list(chat_trace(np.random.default_rng(0), 10, mean_new_tokens=32))
+    result = router.serve(requests)
+    print(
+        f"event-driven check ({best60}, 5 backends): "
+        f"{result.requests_completed} requests, "
+        f"{result.tokens_per_second:.0f} tokens/s aggregate"
+    )
+
+    # --- what would the placement optimizer pick? --------------------------
+    platform = paper_cxl_platform(snc_enabled=True)
+    dram = platform.dram_nodes(0)[0]
+    cxl = platform.cxl_nodes()[0]
+    placer = BandwidthAwarePlacer(
+        platform.path(0, dram.node_id, initiator_domain=dram.domain),
+        platform.path(0, cxl.node_id),
+    )
+    for backends in (4, 5, 6):
+        demand = backends * experiments["mmem"].spec.offered_bandwidth
+        ratio = placer.recommend_ratio(demand, write_fraction=0.1)
+        print(
+            f"placement optimizer at {backends * 12} threads "
+            f"({demand / 1e9:.0f} GB/s demand): N:M = {ratio or 'dram-only'}"
+        )
+
+
+if __name__ == "__main__":
+    main()

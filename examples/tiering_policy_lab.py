@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Tiering policy lab: why one kernel policy behaves two ways (§4.1 vs §4.2).
+
+Drives the three page-tiering daemons (NUMA balancing, hot-page
+selection with RPRL, TPP) against two synthetic workloads at page
+granularity:
+
+* a **Zipfian** workload (KV-store-like): a small hot set dominates —
+  promotion converges and the daemons earn their keep (§4.1.2);
+* a **streaming scan** (Spark-shuffle-like): every page is touched once
+  per epoch — the hot-page auto-threshold collapses and the daemon
+  thrashes (§4.2.2), unless the threshold is pinned.
+
+Run:  python examples/tiering_policy_lab.py
+"""
+
+import numpy as np
+
+from repro import paper_cxl_platform
+from repro.analysis import ascii_table
+from repro.mem import (
+    AddressSpace,
+    BindPolicy,
+    HotPageSelectionDaemon,
+    MemoryInventory,
+    NumaBalancingDaemon,
+    TppDaemon,
+)
+from repro.units import PAGE_SIZE
+
+SCAN_PERIOD = 100e6  # 100 ms
+EPOCHS = 50
+
+
+def build_space(dram_pages=1024, cxl_pages=3072):
+    platform = paper_cxl_platform(snc_enabled=False)
+    dram = [platform.dram_nodes(0)[0].node_id]
+    cxl = [platform.cxl_nodes()[0].node_id]
+    inventory = MemoryInventory(
+        platform, capacity_override={dram[0]: dram_pages * PAGE_SIZE}
+    )
+    space = AddressSpace(inventory)
+    # CXL pages first: the workloads' hot set (the first tenth of the
+    # space) starts on the slow tier, so promotion is what we measure.
+    space.allocate_pages(cxl_pages, BindPolicy(cxl))
+    space.allocate_pages(dram_pages // 2, BindPolicy(dram))
+    return space, dram, cxl
+
+
+def drive(space, daemon, workload: str, seed=7):
+    rng = np.random.default_rng(seed)
+    pages = space.pages
+    hot = pages[: len(pages) // 10]
+    now = 0.0
+    for _ in range(EPOCHS):
+        if workload == "zipfian":
+            for page in hot:
+                for _ in range(4):
+                    page.touch(now + rng.uniform(0, SCAN_PERIOD / 2))
+            cold_idx = rng.choice(len(pages), size=len(pages) // 20, replace=False)
+            for i in cold_idx:
+                pages[int(i)].touch(now + rng.uniform(0, SCAN_PERIOD / 2))
+        else:  # streaming scan
+            for page in pages:
+                page.touch(now + rng.uniform(0, SCAN_PERIOD / 2))
+        now += SCAN_PERIOD
+        daemon.tick(now)
+    dram_nodes = set(daemon.dram_nodes)
+    hot_on_dram = sum(p.node_id in dram_nodes for p in hot) / len(hot)
+    return hot_on_dram, daemon.stats
+
+
+def main() -> None:
+    daemons = {
+        "numa-balancing": lambda s, d, c: NumaBalancingDaemon(s, d, c),
+        "hot-page (auto)": lambda s, d, c: HotPageSelectionDaemon(
+            s, d, c, promote_rate_limit_bytes_per_s=1e9, initial_threshold=1.0
+        ),
+        "hot-page (pinned)": lambda s, d, c: HotPageSelectionDaemon(
+            s, d, c, promote_rate_limit_bytes_per_s=1e9,
+            initial_threshold=3.0, auto_adjust=False,
+        ),
+        "tpp": lambda s, d, c: TppDaemon(s, d, c),
+    }
+
+    for workload in ("zipfian", "scan"):
+        rows = []
+        for name, factory in daemons.items():
+            space, dram, cxl = build_space()
+            daemon = factory(space, dram, cxl)
+            hot_on_dram, stats = drive(space, daemon, workload)
+            rows.append(
+                (
+                    name,
+                    f"{hot_on_dram * 100:.0f}%",
+                    stats.promoted_pages,
+                    stats.demoted_pages,
+                    f"{stats.moved_bytes / 1e6:.1f} MB",
+                )
+            )
+        print(
+            ascii_table(
+                ["daemon", "hot set on DRAM", "promoted", "demoted", "migrated"],
+                rows,
+                title=f"\nworkload: {workload}",
+            )
+        )
+
+    print(
+        "\nReading: on Zipfian traffic every daemon pulls the hot set up "
+        "(§4.1.2's Hot-Promote\nresult); on a streaming scan the auto-"
+        "threshold hot-page daemon migrates orders of\nmagnitude more for "
+        "no placement benefit — §4.2.2's thrashing, curable by pinning\n"
+        "the threshold (or throttling RPRL)."
+    )
+
+
+if __name__ == "__main__":
+    main()

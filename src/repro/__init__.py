@@ -1,0 +1,61 @@
+"""repro — reproduction of "Exploring Performance and Cost Optimization
+with ASIC-Based CXL Memory" (EuroSys '24).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.sim` — deterministic discrete-event core, bandwidth
+  arbitration, statistics;
+* :mod:`repro.hw` — a hardware model calibrated to the paper's ASIC CXL
+  measurements (Sapphire Rapids + AsteraLabs A1000);
+* :mod:`repro.mem` — page-granular memory management: NUMA mempolicies
+  (bind / interleave / weighted N:M) and kernel tiering daemons
+  (NUMA balancing, hot-page selection with promotion rate limit, TPP);
+* :mod:`repro.workloads` — MLC-style loaded-latency probes, YCSB,
+  TPC-H query profiles, LLM serving traces;
+* :mod:`repro.apps` — the paper's three application studies (KeyDB-like
+  KV store, Spark-like shuffle engine, CPU LLM inference);
+* :mod:`repro.core` — the paper's contributions: the Abstract Cost Model
+  and the bandwidth-aware placement optimizer;
+* :mod:`repro.analysis` — per-figure experiment runners and rendering.
+
+Quickstart::
+
+    from repro import paper_cxl_platform
+
+    platform = paper_cxl_platform()
+    cxl = platform.cxl_nodes()[0]
+    path = platform.path(initiator_socket=0, target_node=cxl.node_id)
+    print(path.idle_latency_ns())          # ~250 ns, §3.2
+"""
+
+from .hw import (
+    ANCHORS,
+    PaperAnchors,
+    MemoryPath,
+    PathKind,
+    Platform,
+    ServerSpec,
+    build_platform,
+    paper_baseline_platform,
+    paper_cxl_platform,
+    paper_testbed,
+)
+from .sim import RngFactory, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANCHORS",
+    "PaperAnchors",
+    "MemoryPath",
+    "PathKind",
+    "Platform",
+    "ServerSpec",
+    "build_platform",
+    "paper_baseline_platform",
+    "paper_cxl_platform",
+    "paper_testbed",
+    "RngFactory",
+    "Simulator",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Figure/table runners, calibration anchors, and terminal rendering."""
+
+from ..hw.calibration import ANCHORS, PaperAnchors
+from .figures import (
+    Fig5Result,
+    Fig8Result,
+    Fig10Result,
+    fig3_loaded_latency,
+    fig4_path_comparison,
+    fig5_keydb,
+    fig7_spark,
+    fig8_cxl_only,
+    fig10_llm,
+)
+from .repeat import RepeatedMetric, repeat_metric
+from .report import ascii_bars, ascii_series, ascii_table
+from .topology_report import describe_platform, path_surface_table
+from .validate import AnchorCheck, validate_anchors
+from .tables import TABLE1, TABLE2_HEADERS, TABLE3, TABLE4, table2_rows
+
+__all__ = [
+    "ANCHORS",
+    "PaperAnchors",
+    "Fig5Result",
+    "Fig8Result",
+    "Fig10Result",
+    "fig3_loaded_latency",
+    "fig4_path_comparison",
+    "fig5_keydb",
+    "fig7_spark",
+    "fig8_cxl_only",
+    "fig10_llm",
+    "RepeatedMetric",
+    "repeat_metric",
+    "ascii_bars",
+    "ascii_series",
+    "ascii_table",
+    "describe_platform",
+    "path_surface_table",
+    "AnchorCheck",
+    "validate_anchors",
+    "TABLE1",
+    "TABLE2_HEADERS",
+    "TABLE3",
+    "TABLE4",
+    "table2_rows",
+]

@@ -1,0 +1,87 @@
+"""Export figure data to CSV/JSON for external plotting.
+
+The ASCII rendering in :mod:`repro.analysis.report` is for terminals;
+these writers produce machine-readable artifacts (the shape the paper's
+own artifact repository publishes) so results can be plotted or diffed
+outside this package.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Sequence
+
+from ..workloads.mlc import MlcCurve
+
+__all__ = [
+    "curve_to_rows",
+    "rows_to_csv",
+    "fig3_to_csv",
+    "fig10_to_json",
+    "write_text",
+]
+
+
+def curve_to_rows(curve: MlcCurve) -> List[Dict[str, float]]:
+    """Flatten one loaded-latency curve to dict rows."""
+    return [
+        {
+            "write_fraction": curve.write_fraction,
+            "offered_bytes_per_s": p.offered_bytes_per_s,
+            "achieved_gbps": p.achieved_gbps,
+            "latency_ns": p.latency_ns,
+        }
+        for p in curve.points
+    ]
+
+
+def rows_to_csv(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render dict rows as CSV text (keys of the first row are header)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def fig3_to_csv(panels: Dict[str, Dict[str, MlcCurve]]) -> str:
+    """One CSV covering every Fig. 3 panel and mix."""
+    rows: List[Dict[str, Any]] = []
+    for panel, curves in panels.items():
+        for mix, curve in curves.items():
+            for row in curve_to_rows(curve):
+                rows.append({"panel": panel, "mix": mix, **row})
+    return rows_to_csv(rows)
+
+
+def fig10_to_json(result: Any) -> str:
+    """Serialize a Fig. 10 result (serving sweeps + probes) to JSON."""
+    payload = {
+        "serving": {
+            config: [
+                {
+                    "threads": p.threads,
+                    "backends": p.backends,
+                    "tokens_per_second": p.tokens_per_second,
+                    "dram_utilization": p.dram_utilization,
+                    "cxl_utilization": p.cxl_utilization,
+                    "loaded_latency_ns": p.loaded_latency_ns,
+                }
+                for p in points
+            ]
+            for config, points in result.serving.items()
+        },
+        "fig10b_threads_gbps": list(result.fig10b),
+        "fig10c_kv_gib_gbps": list(result.fig10c),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def write_text(path: str, text: str) -> None:
+    """Write an artifact to disk (tiny wrapper for symmetry/tests)."""
+    with open(path, "w") as f:
+        f.write(text)

@@ -1,0 +1,230 @@
+"""Per-figure experiment runners.
+
+One function per paper artifact; each returns plain data structures the
+benchmarks print and the tests assert on.  All runners accept scale
+parameters so the same code serves quick CI checks and the full
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps.kvstore import run_keydb_config, run_keydb_cxl_only
+from ..apps.kvstore.server import KeyDbResult
+from ..apps.llm import LLM_CONFIGS, LlmServingExperiment, ServingPoint
+from ..apps.spark import run_all_spark_configs
+from ..apps.spark.job import QueryResult
+from ..hw.presets import paper_cxl_platform
+from ..hw.topology import Platform
+from ..workloads.mlc import MlcCurve, MlcProbe
+from ..units import GIB
+
+__all__ = [
+    "fig3_loaded_latency",
+    "fig4_path_comparison",
+    "Fig5Result",
+    "fig5_keydb",
+    "fig7_spark",
+    "Fig8Result",
+    "fig8_cxl_only",
+    "Fig10Result",
+    "fig10_llm",
+]
+
+#: Fig. 3's read:write mix legend.
+FIG3_MIXES: Tuple[Tuple[int, int], ...] = ((1, 0), (2, 1), (1, 1), (0, 1))
+
+#: The four distances of Fig. 3's panels.
+FIG3_PANELS: Tuple[str, ...] = ("mmem", "mmem-r", "cxl", "cxl-r")
+
+
+def _panel_path(platform: Platform, panel: str):
+    dram0 = platform.dram_nodes(0)[0]
+    dram1 = platform.dram_nodes(1)[0]
+    cxl = platform.cxl_nodes()[0]
+    if panel == "mmem":
+        return platform.path(0, dram0.node_id, initiator_domain=dram0.domain)
+    if panel == "mmem-r":
+        return platform.path(0, dram1.node_id)
+    if panel == "cxl":
+        return platform.path(0, cxl.node_id)
+    if panel == "cxl-r":
+        return platform.path(1, cxl.node_id)
+    raise KeyError(f"unknown panel {panel!r}")
+
+
+def fig3_loaded_latency(
+    panels: Sequence[str] = FIG3_PANELS,
+    mixes: Sequence[Tuple[int, int]] = FIG3_MIXES,
+    load_points: int = 24,
+) -> Dict[str, Dict[str, MlcCurve]]:
+    """Fig. 3: loaded-latency curves for the four distances.
+
+    Returns ``{panel: {"r:w": MlcCurve}}`` with 16 MLC threads on the
+    SNC-enabled platform, as in §3.1.
+    """
+    platform = paper_cxl_platform(snc_enabled=True)
+    probe = MlcProbe(platform, threads=16)
+    fractions = [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
+    out: Dict[str, Dict[str, MlcCurve]] = {}
+    for panel in panels:
+        path = _panel_path(platform, panel)
+        out[panel] = {
+            f"{r}:{w}": probe.loaded_latency_curve(path, r, w, load_points=fractions)
+            for r, w in mixes
+        }
+    return out
+
+
+def fig4_path_comparison(
+    write_fractions_mixes: Sequence[Tuple[int, int]] = (
+        (1, 0), (3, 1), (2, 1), (1, 1), (1, 2), (0, 1),
+    ),
+    patterns: Sequence[str] = ("sequential", "random"),
+    load_points: int = 24,
+) -> Dict[str, Dict[str, Dict[str, MlcCurve]]]:
+    """Fig. 4: per-mix comparison of all distances, both patterns.
+
+    Returns ``{pattern: {"r:w": {panel: MlcCurve}}}`` — panels (a)-(f)
+    are the sequential mixes; (g)/(h) are the random read/write-only.
+    """
+    platform = paper_cxl_platform(snc_enabled=True)
+    fractions = [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
+    out: Dict[str, Dict[str, Dict[str, MlcCurve]]] = {}
+    for pattern in patterns:
+        probe = MlcProbe(platform, threads=16, pattern=pattern)
+        per_mix: Dict[str, Dict[str, MlcCurve]] = {}
+        for r, w in write_fractions_mixes:
+            per_mix[f"{r}:{w}"] = {
+                panel: probe.loaded_latency_curve(
+                    _panel_path(platform, panel), r, w, load_points=fractions
+                )
+                for panel in FIG3_PANELS
+            }
+        out[pattern] = per_mix
+    return out
+
+
+@dataclass
+class Fig5Result:
+    """Fig. 5: YCSB throughput and tails per configuration."""
+
+    results: Dict[str, Dict[str, KeyDbResult]] = field(default_factory=dict)
+
+    def throughput_table(self) -> List[Tuple[str, Dict[str, float]]]:
+        """Rows of (config, {workload: kops/s}) in Table 1 order."""
+        out = []
+        configs = list(next(iter(self.results.values())).keys())
+        for config in configs:
+            out.append(
+                (
+                    config,
+                    {
+                        wl: per_cfg[config].throughput_ops_per_s / 1e3
+                        for wl, per_cfg in self.results.items()
+                    },
+                )
+            )
+        return out
+
+    def slowdown(self, workload: str, config: str) -> float:
+        """Throughput slowdown vs the MMEM configuration."""
+        base = self.results[workload]["mmem"].throughput_ops_per_s
+        return base / self.results[workload][config].throughput_ops_per_s
+
+
+def fig5_keydb(
+    workloads: Sequence[str] = ("A", "B", "C", "D"),
+    configs: Sequence[str] = (
+        "mmem", "mmem-ssd-0.2", "mmem-ssd-0.4", "3:1", "1:1", "1:3", "hot-promote",
+    ),
+    record_count: int = 65_536,
+    total_ops: int = 100_000,
+    seed: int = 0xC0FFEE,
+) -> Fig5Result:
+    """Fig. 5: run every (workload, configuration) cell."""
+    result = Fig5Result()
+    for workload in workloads:
+        result.results[workload] = {
+            config: run_keydb_config(
+                config,
+                workload=workload,
+                record_count=record_count,
+                total_ops=total_ops,
+                seed=seed,
+            )
+            for config in configs
+        }
+    return result
+
+
+def fig7_spark() -> Dict[str, Dict[str, QueryResult]]:
+    """Fig. 7: every Spark configuration x every TPC-H query."""
+    return run_all_spark_configs()
+
+
+@dataclass
+class Fig8Result:
+    """Fig. 8: KeyDB bound entirely to MMEM vs entirely to CXL."""
+
+    mmem: KeyDbResult
+    cxl: KeyDbResult
+
+    @property
+    def throughput_drop(self) -> float:
+        """Fractional throughput loss on CXL (paper: ~12.5 %)."""
+        return 1.0 - self.cxl.throughput_ops_per_s / self.mmem.throughput_ops_per_s
+
+    def latency_penalty(self, percentile: float = 50.0) -> float:
+        """Read-latency penalty at a percentile (paper: 9-27 %)."""
+        return (
+            self.cxl.read_latency.percentile(percentile)
+            / self.mmem.read_latency.percentile(percentile)
+            - 1.0
+        )
+
+
+def fig8_cxl_only(
+    record_count: int = 102_400, total_ops: int = 150_000, seed: int = 0xC0FFEE
+) -> Fig8Result:
+    """Fig. 8: the §4.3 numactl-bound YCSB-C pair."""
+    return Fig8Result(
+        mmem=run_keydb_cxl_only(False, record_count, total_ops, seed),
+        cxl=run_keydb_cxl_only(True, record_count, total_ops, seed),
+    )
+
+
+@dataclass
+class Fig10Result:
+    """Fig. 10: the LLM serving sweeps and bandwidth probes."""
+
+    serving: Dict[str, List[ServingPoint]]
+    fig10b: List[Tuple[int, float]]
+    fig10c: List[Tuple[int, float]]
+
+    def rate(self, config: str, threads: int) -> float:
+        """Serving rate of a configuration at a thread count."""
+        for point in self.serving[config]:
+            if point.threads == threads:
+                return point.tokens_per_second
+        raise KeyError(f"no sample at {threads} threads for {config}")
+
+
+def fig10_llm(
+    backend_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    fig10b_threads: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32),
+    fig10c_kv_gib: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
+) -> Fig10Result:
+    """Fig. 10(a)-(c): serving-rate sweep plus both bandwidth probes."""
+    serving = {
+        config: LlmServingExperiment(config).sweep(backend_counts)
+        for config in LLM_CONFIGS
+    }
+    probe = LlmServingExperiment("mmem")
+    fig10b = [(t, probe.fig10b_bandwidth_gbps(t)) for t in fig10b_threads]
+    fig10c = [
+        (kv, probe.fig10c_bandwidth_gbps(kv * GIB)) for kv in fig10c_kv_gib
+    ]
+    return Fig10Result(serving=serving, fig10b=fig10b, fig10c=fig10c)

@@ -1,0 +1,82 @@
+"""Repetition utilities: mean / spread / confidence across seeds.
+
+The paper reports single-testbed measurements; a simulation can do
+better by repeating every stochastic experiment across seeds and
+reporting dispersion.  ``repeat_metric`` runs any ``seed -> float``
+experiment and returns a :class:`RepeatedMetric` with mean, standard
+deviation and a normal-approximation confidence interval — used by the
+tests to show the headline ratios are stable across seeds, and available
+to users for their own studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["RepeatedMetric", "repeat_metric"]
+
+#: Two-sided z values for common confidence levels.
+_Z = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+@dataclass(frozen=True)
+class RepeatedMetric:
+    """Summary of one metric across repetitions."""
+
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 2:
+            raise ConfigurationError("need at least two repetitions")
+
+    @property
+    def n(self) -> int:
+        """Number of repetitions."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return sum(self.values) / self.n
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (Bessel-corrected)."""
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def relative_spread(self) -> float:
+        """Coefficient of variation (stddev / |mean|)."""
+        mu = self.mean
+        return self.stddev / abs(mu) if mu else float("inf")
+
+    def confidence_interval(self, level: float = 0.95) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean."""
+        if level not in _Z:
+            raise ConfigurationError(f"supported levels: {sorted(_Z)}")
+        half = _Z[level] * self.stddev / math.sqrt(self.n)
+        return (self.mean - half, self.mean + half)
+
+    def within(self, lo: float, hi: float, level: float = 0.95) -> bool:
+        """Whether the CI lies entirely inside ``[lo, hi]``."""
+        ci_lo, ci_hi = self.confidence_interval(level)
+        return lo <= ci_lo and ci_hi <= hi
+
+    def __str__(self) -> str:
+        lo, hi = self.confidence_interval()
+        return f"{self.mean:.4g} ± {hi - self.mean:.2g} (95% CI, n={self.n})"
+
+
+def repeat_metric(
+    experiment: Callable[[int], float],
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> RepeatedMetric:
+    """Run ``experiment(seed)`` for every seed and summarize."""
+    if len(seeds) < 2:
+        raise ConfigurationError("need at least two seeds")
+    return RepeatedMetric(tuple(float(experiment(seed)) for seed in seeds))

@@ -1,0 +1,65 @@
+"""The paper's static tables as data.
+
+* Table 1 — configurations used in the capacity experiments (§4.1);
+* Table 2 — Intel processor series and the vCPU:memory gap (§4.3);
+* Table 3 — the Abstract Cost Model's parameters (§6);
+* Table 4 — GH200 memory tiers vs their CXL analogues (§7.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.vcpu import PROCESSOR_SERIES
+
+__all__ = ["TABLE1", "TABLE2_HEADERS", "TABLE3", "TABLE4", "table2_rows"]
+
+#: Table 1: configuration name -> description.
+TABLE1: Tuple[Tuple[str, str], ...] = (
+    ("mmem", "Entire working set in main memory."),
+    ("mmem-ssd-0.2", "20% of the working set is spilled to SSD."),
+    ("mmem-ssd-0.4", "40% of the working set is spilled to SSD."),
+    ("3:1", "Entire working set in memory (75% MMEM + 25% CXL, 3:1 interleaved)."),
+    ("1:1", "Entire working set in memory (50% MMEM + 50% CXL, 1:1 interleaved)."),
+    ("1:3", "Entire working set in memory (25% MMEM + 75% CXL, 1:3 interleaved)."),
+    (
+        "hot-promote",
+        "Entire working set in memory (50% MMEM + 50% CXL), with hot page "
+        "promotion kernel patches (§2).",
+    ),
+)
+
+#: Table 2 headers; rows come from :data:`repro.core.vcpu.PROCESSOR_SERIES`.
+TABLE2_HEADERS: Tuple[str, ...] = (
+    "Year",
+    "CPU",
+    "Max vCPU/server",
+    "Memory channels/socket",
+    "Max memory (TB)",
+    "Required memory 1:4 (TB)",
+)
+
+#: Table 3: Abstract Cost Model parameters with the §6 example values.
+TABLE3: Tuple[Tuple[str, str, str], ...] = (
+    ("P_s", "Throughput with (almost) the entire working set on SSD; normalized to 1.", "1"),
+    ("R_d", "Relative throughput with the working set in main memory.", "10"),
+    ("R_c", "Relative throughput with the working set in CXL memory.", "8"),
+    ("D", "MMEM capacity per server (completeness only; unused).", "-"),
+    ("C", "Ratio of MMEM to CXL capacity on a CXL server.", "2"),
+    ("N_baseline", "Servers in the baseline cluster.", "-"),
+    ("N_cxl", "Servers in the CXL cluster at equal performance.", "-"),
+    ("R_t", "Relative TCO of a CXL server vs baseline.", "1.1"),
+)
+
+#: Table 4: GH200 memory tier -> CXL analogue (§7.1).
+TABLE4: Tuple[Tuple[str, str], ...] = (
+    ("Local GPU HBM", "Local DDR"),
+    ("Local CPU DDR", "CXL memory expansion"),
+    ("Remote GPU HBM", "CXL memory pooling"),
+    ("Remote CPU DDR", "CXL memory pooling"),
+)
+
+
+def table2_rows() -> List[Tuple]:
+    """Table 2's rows (from the processor-series dataset)."""
+    return [tuple(row) for row in PROCESSOR_SERIES]

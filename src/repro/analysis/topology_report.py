@@ -1,0 +1,62 @@
+"""Render a platform's topology as text — the Fig. 2 view of a server.
+
+``describe_platform`` prints the socket/SNC-domain/CXL layout, per-node
+capacities, and the calibrated path surface from a chosen initiator —
+useful in examples and for sanity-checking hand-built ServerSpecs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hw.topology import Platform
+from ..units import format_bandwidth, format_bytes
+
+__all__ = ["describe_platform", "path_surface_table"]
+
+
+def describe_platform(platform: Platform) -> str:
+    """A tree view of the platform (Fig. 2(a)-style)."""
+    spec = platform.spec
+    lines: List[str] = [
+        f"{spec.name}: {spec.sockets} x {spec.cpu.name} "
+        f"({spec.cpu.cores} cores each), SNC "
+        f"{'on (' + str(spec.cpu.snc_domains) + ' domains)' if spec.snc_enabled else 'off'}"
+    ]
+    for socket in range(spec.sockets):
+        lines.append(f"  socket {socket}:")
+        for node in platform.dram_nodes(socket):
+            domain = f" (SNC domain {node.domain})" if node.domain is not None else ""
+            lines.append(
+                f"    dram node {node.node_id}{domain}: "
+                f"{format_bytes(node.capacity_bytes)}, "
+                f"{format_bandwidth(node.resource.capacity(0.0))} read peak"
+            )
+        for node in platform.cxl_nodes(socket):
+            lines.append(
+                f"    cxl node {node.node_id}: "
+                f"{format_bytes(node.capacity_bytes)}, "
+                f"{format_bandwidth(node.resource.capacity(1 / 3))} peak (2:1)"
+            )
+    for index, ssd in enumerate(platform.ssds):
+        lines.append(
+            f"  ssd {index}: {format_bytes(ssd.spec.capacity_bytes)}, "
+            f"{format_bandwidth(ssd.spec.read_bandwidth_bytes_per_s)} read"
+        )
+    lines.append(
+        f"  nic: {format_bandwidth(spec.nic.bandwidth_bytes_per_s)}"
+    )
+    return "\n".join(lines)
+
+
+def path_surface_table(platform: Platform, initiator_socket: int = 0) -> str:
+    """The §3 surface from one socket: idle latency and peak per node."""
+    lines = [f"paths from socket {initiator_socket}:"]
+    for node_id, node in sorted(platform.nodes.items()):
+        path = platform.path(initiator_socket, node_id)
+        lines.append(
+            f"  -> node {node_id} ({node.kind.value}, socket {node.socket}): "
+            f"{path.kind.value:7s} idle {path.idle_latency_ns():6.1f} ns, "
+            f"peak {format_bandwidth(path.peak_bandwidth(0.0))}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Application studies: KV store (§4.1/§4.3), Spark (§4.2), LLM (§5)."""
+
+from . import kvstore, llm, spark
+from .replay import ReplayResult, TraceReplayer
+
+__all__ = ["kvstore", "llm", "spark", "ReplayResult", "TraceReplayer"]

@@ -1,0 +1,178 @@
+"""Event-driven KeyDB: the closed-loop DES counterpart of the epoch model.
+
+:class:`~repro.apps.kvstore.server.KeyDbServer` advances in epochs — a
+fast fixed-point over thousands of operations.  This module runs the
+*same* store and pricing through the discrete-event engine instead:
+
+* the server's threads are a FIFO :class:`~repro.sim.resources.Resource`
+  (seven slots, as in §4.1.1);
+* each closed-loop client process draws an operation, waits for a
+  thread, holds it for the op's priced service time, and immediately
+  issues the next request;
+* latencies now include *queueing for a server thread*, which the epoch
+  model folds into its averaging.
+
+Running both and comparing (see ``tests/apps/test_des_server.py``)
+validates the epoch scheme's shortcut: aggregate throughput agrees to
+within a few percent while the DES path additionally exposes the
+thread-contention component of the tails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...errors import ConfigurationError
+from ...hw.paths import MemoryPath
+from ...hw.topology import Platform
+from ...sim.engine import Simulator
+from ...sim.resources import Resource
+from ...workloads.ycsb import YcsbGenerator
+from .server import KeyDbResult
+from .store import KeyValueStore
+
+__all__ = ["DesKeyDbServer"]
+
+
+class DesKeyDbServer:
+    """Closed-loop clients against a thread-pool server, on the DES."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        store: KeyValueStore,
+        threads: int = 7,
+        socket: int = 0,
+        clients: int = 16,
+        utilization_refresh_ops: int = 2000,
+    ) -> None:
+        if threads <= 0 or clients <= 0:
+            raise ConfigurationError("threads and clients must be positive")
+        if utilization_refresh_ops <= 0:
+            raise ConfigurationError("utilization_refresh_ops must be positive")
+        self.platform = platform
+        self.store = store
+        self.threads = threads
+        self.socket = socket
+        self.clients = clients
+        self.refresh_ops = utilization_refresh_ops
+        self._paths: Dict[int, MemoryPath] = {}
+        self._utilization: Dict[str, float] = {}
+        self._lat_cache: Dict[int, Dict[int, float]] = {}
+
+    def _path(self, node_id: int) -> MemoryPath:
+        if node_id not in self._paths:
+            self._paths[node_id] = self.platform.path(self.socket, node_id)
+        return self._paths[node_id]
+
+    def _latency_tables(self) -> None:
+        self._lat_cache = {
+            0: {
+                n: self._path(n).loaded_latency_ns(
+                    self._path(n).bottleneck_utilization(self._utilization), 0.0
+                )
+                for n in self.platform.nodes
+            },
+            1: {
+                n: self._path(n).loaded_latency_ns(
+                    self._path(n).bottleneck_utilization(self._utilization), 1.0
+                )
+                for n in self.platform.nodes
+            },
+        }
+        mix = self.store.node_mix()
+        self._struct = {
+            w: sum(frac * self._lat_cache[w][n] for n, frac in mix.items())
+            for w in (0, 1)
+        }
+
+    def _price(self, plan) -> float:
+        w = 1 if plan.is_write else 0
+        time_ns = self.store.profile.cpu_ns
+        time_ns += plan.struct_accesses * self._struct[w]
+        time_ns += plan.value_accesses * self._lat_cache[w][plan.value_page.node_id]
+        if self.store.flash is not None:
+            if plan.ssd_read_bytes:
+                time_ns += self.store.flash.read_time_ns(plan.ssd_read_bytes)
+            if plan.ssd_write_bytes:
+                time_ns += self.store.flash.write_time_ns(plan.ssd_write_bytes)
+        return time_ns
+
+    def run(self, generator: YcsbGenerator, total_ops: int) -> KeyDbResult:
+        """Run the closed loop until ``total_ops`` complete."""
+        if total_ops <= 0:
+            raise ConfigurationError("total_ops must be positive")
+        sim = Simulator()
+        server_threads = Resource(sim, self.threads)
+        result = KeyDbResult()
+        self._latency_tables()
+        state = {"issued": 0, "done": 0, "since_refresh": 0}
+        node_bytes: Dict[int, float] = {}
+        node_write_bytes: Dict[int, float] = {}
+        refresh_anchor = {"t": 0.0}
+
+        def client():
+            while state["issued"] < total_ops:
+                state["issued"] += 1
+                op = generator.next_operation()
+                arrival = sim.now
+                grant = server_threads.request()
+                yield grant
+                if op.is_write:
+                    plan = self.store.plan_set(op.key, sim.now)
+                else:
+                    plan = self.store.plan_get(op.key, sim.now)
+                service = self._price(plan)
+                yield sim.timeout(service)
+                server_threads.release()
+                total_latency = sim.now - arrival  # queueing + service
+                if plan.is_write:
+                    result.write_latency.record(total_latency)
+                else:
+                    result.read_latency.record(total_latency)
+                node = plan.value_page.node_id
+                touched = plan.value_bytes + 64 * (
+                    plan.struct_accesses + plan.value_accesses
+                )
+                node_bytes[node] = node_bytes.get(node, 0.0) + touched
+                if plan.is_write:
+                    node_write_bytes[node] = (
+                        node_write_bytes.get(node, 0.0) + touched
+                    )
+                state["done"] += 1
+                state["since_refresh"] += 1
+                if state["since_refresh"] >= self.refresh_ops:
+                    state["since_refresh"] = 0
+                    self._refresh(node_bytes, node_write_bytes,
+                                  sim.now - refresh_anchor["t"])
+                    refresh_anchor["t"] = sim.now
+                    node_bytes.clear()
+                    node_write_bytes.clear()
+
+        for _ in range(self.clients):
+            sim.process(client())
+        sim.run()
+        result.ops = state["done"]
+        result.elapsed_ns = sim.now
+        return result
+
+    def _refresh(
+        self,
+        node_bytes: Dict[int, float],
+        node_write_bytes: Dict[int, float],
+        window_ns: float,
+    ) -> None:
+        if window_ns <= 0:
+            return
+        demands = []
+        for node, total in node_bytes.items():
+            writes = node_write_bytes.get(node, 0.0)
+            rate = total / (window_ns / 1e9)
+            demands.append(
+                self.platform.demand(
+                    f"des/{node}", self._path(node), rate, writes / total
+                )
+            )
+        if demands:
+            self._utilization = self.platform.allocate(demands).utilization
+        self._latency_tables()

@@ -1,0 +1,274 @@
+"""The KeyDB server model: multi-threaded closed-loop operation pricing.
+
+KeyDB runs several *server threads* over the standard Redis event loop
+(seven in the paper, §4.1.1).  The simulation advances in epochs:
+
+1. draw a batch of YCSB operations and resolve each to an
+   :class:`~repro.apps.kvstore.store.AccessPlan` (touching pages so the
+   tiering daemons see real access history);
+2. price every plan using the *current* loaded latencies — structure
+   walks at the store's placement mix, value accesses at the key's own
+   page, SSD faults/persistence at the FLASH tier;
+3. advance the clock by ``sum(op times) / threads`` (threads drain the
+   closed-loop client in parallel);
+4. feed the epoch's traffic back through the platform's bandwidth
+   allocator to refresh per-node utilizations for the next epoch, and
+   let the tiering daemon run — migration bytes stall the server for
+   ``bytes / migration_bandwidth``.
+
+This fixed-point-over-epochs scheme converges in one or two epochs for
+these workloads because capacity-bound KV traffic sits far below the
+bandwidth knee (which is precisely the paper's point in §4.1.2: "our
+workload [is] primarily constrained by memory capacity rather than
+memory bandwidth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ...errors import ConfigurationError
+from ...hw.paths import MemoryPath
+from ...hw.topology import Platform
+from ...mem.tiering.base import TieringDaemon
+from ...sim.stats import Counter, LatencyHistogram
+from ...units import gb_per_s
+from ...workloads.ycsb import YcsbGenerator
+from .store import AccessPlan, KeyValueStore
+
+__all__ = ["KeyDbResult", "KeyDbServer"]
+
+#: Effective single-threaded kernel page-copy bandwidth for migrations.
+MIGRATION_BANDWIDTH = gb_per_s(6.0)
+
+
+@dataclass
+class KeyDbResult:
+    """Outcome of one KeyDB run."""
+
+    ops: int = 0
+    elapsed_ns: float = 0.0
+    read_latency: LatencyHistogram = field(
+        default_factory=lambda: LatencyHistogram(min_value=50.0)
+    )
+    write_latency: LatencyHistogram = field(
+        default_factory=lambda: LatencyHistogram(min_value=50.0)
+    )
+    counters: Counter = field(default_factory=Counter)
+
+    @property
+    def throughput_ops_per_s(self) -> float:
+        """Aggregate operations per second."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.ops / (self.elapsed_ns / 1e9)
+
+    def tail_latencies_us(self) -> Dict[str, float]:
+        """p50/p95/p99/p99.9 read latencies in microseconds (Fig. 5(b))."""
+        return {
+            f"p{p}": self.read_latency.percentile(p) / 1000.0
+            for p in (50, 95, 99, 99.9)
+        }
+
+
+class KeyDbServer:
+    """Prices YCSB operations against the platform's memory paths."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        store: KeyValueStore,
+        threads: int = 7,
+        socket: int = 0,
+        tiering: Optional[TieringDaemon] = None,
+    ) -> None:
+        if threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        self.platform = platform
+        self.store = store
+        self.threads = threads
+        self.socket = socket
+        self.tiering = tiering
+        self._paths: Dict[int, MemoryPath] = {}
+        self._utilization: Dict[str, float] = {}
+        #: Access-weighted node mix of the previous epoch.  Shared server
+        #: structures (hash buckets, robjs) are touched in proportion to
+        #: key popularity, so after Hot-Promote converges the structure
+        #: walk runs almost entirely out of DRAM even though half the
+        #: *bytes* still sit on CXL — this is why Hot-Promote tracks the
+        #: MMEM configuration in Fig. 5(a).
+        self._access_mix: Dict[int, float] = {}
+        self.now_ns = 0.0
+
+    def _path(self, node_id: int) -> MemoryPath:
+        if node_id not in self._paths:
+            self._paths[node_id] = self.platform.path(self.socket, node_id)
+        return self._paths[node_id]
+
+    def _node_latency(self, node_id: int, write_fraction: float) -> float:
+        path = self._path(node_id)
+        u = path.bottleneck_utilization(self._utilization)
+        return path.loaded_latency_ns(u, write_fraction)
+
+    def _epoch_latency_tables(self) -> "tuple[Dict[int, float], Dict[int, float], float, float]":
+        """Precompute per-node and mix-average latencies for one epoch.
+
+        Latencies change only when utilization or placement changes —
+        once per epoch — so pricing 2000 ops must not recompute the
+        placement mix 2000 times.
+        """
+        mix = self._access_mix or self.store.node_mix()
+        read_lat = {n: self._node_latency(n, 0.0) for n in self.platform.nodes}
+        write_lat = {n: self._node_latency(n, 1.0) for n in self.platform.nodes}
+        struct_read = sum(frac * read_lat[n] for n, frac in mix.items())
+        struct_write = sum(frac * write_lat[n] for n, frac in mix.items())
+        return read_lat, write_lat, struct_read, struct_write
+
+    def _price(
+        self,
+        plan: AccessPlan,
+        ssd_utilization: float,
+        read_lat: Dict[int, float],
+        write_lat: Dict[int, float],
+        struct_read: float,
+        struct_write: float,
+    ) -> float:
+        """Service time of one operation at current latencies."""
+        if plan.is_write:
+            node_lat = write_lat[plan.value_page.node_id]
+            struct_lat = struct_write
+        else:
+            node_lat = read_lat[plan.value_page.node_id]
+            struct_lat = struct_read
+        time_ns = self.store.profile.cpu_ns
+        time_ns += plan.struct_accesses * struct_lat
+        time_ns += plan.value_accesses * node_lat
+        if self.store.flash is not None:
+            if plan.ssd_read_bytes:
+                time_ns += self.store.flash.read_time_ns(
+                    plan.ssd_read_bytes, ssd_utilization
+                )
+            if plan.ssd_write_bytes:
+                time_ns += self.store.flash.write_time_ns(
+                    plan.ssd_write_bytes, ssd_utilization
+                )
+        return time_ns
+
+    def run(
+        self,
+        generator: YcsbGenerator,
+        total_ops: int,
+        epoch_ops: int = 2000,
+        warmup_ops: int = 0,
+    ) -> KeyDbResult:
+        """Run ``total_ops`` operations; discard ``warmup_ops`` from stats.
+
+        Warmup lets the Hot-Promote daemon converge before measurement,
+        matching how the paper loads the dataset and runs YCSB after the
+        kernel has had time to react.
+        """
+        if total_ops <= 0 or epoch_ops <= 0:
+            raise ConfigurationError("op counts must be positive")
+        result = KeyDbResult()
+        ssd_utilization = 0.0
+        done = 0
+        while done < total_ops:
+            batch = min(epoch_ops, total_ops - done)
+            plans = []
+            for _ in range(batch):
+                op = generator.next_operation()
+                if op.is_write:
+                    plans.append(self.store.plan_set(op.key, self.now_ns))
+                else:
+                    plans.append(self.store.plan_get(op.key, self.now_ns))
+
+            measuring = done >= warmup_ops
+            epoch_busy_ns = 0.0
+            ssd_bytes = 0
+            node_read_bytes: Dict[int, float] = {}
+            node_write_bytes: Dict[int, float] = {}
+            read_lat, write_lat, struct_read, struct_write = self._epoch_latency_tables()
+            for plan in plans:
+                t = self._price(
+                    plan, ssd_utilization, read_lat, write_lat, struct_read, struct_write
+                )
+                epoch_busy_ns += t
+                if measuring:
+                    if plan.is_write:
+                        result.write_latency.record(t)
+                    else:
+                        result.read_latency.record(t)
+                ssd_bytes += plan.ssd_read_bytes + plan.ssd_write_bytes
+                node = plan.value_page.node_id
+                touched = plan.value_bytes + 64 * (
+                    plan.struct_accesses + plan.value_accesses
+                )
+                if plan.is_write:
+                    node_write_bytes[node] = node_write_bytes.get(node, 0.0) + touched
+                else:
+                    node_read_bytes[node] = node_read_bytes.get(node, 0.0) + touched
+
+            epoch_ns = epoch_busy_ns / self.threads
+            # Tiering daemon reacts to the access history of this epoch.
+            if self.tiering is not None:
+                round_ = self.tiering.tick(self.now_ns + epoch_ns)
+                if round_.moved_bytes:
+                    stall = round_.moved_bytes / MIGRATION_BANDWIDTH * 1e9
+                    epoch_ns += stall
+                    result.counters.add("migration_stall_ns", stall)
+                    result.counters.add("migrated_bytes", round_.moved_bytes)
+
+            self.now_ns += epoch_ns
+            done += batch
+            if measuring:
+                result.ops += batch
+                result.elapsed_ns += epoch_ns
+            result.counters.add("ssd_bytes", ssd_bytes)
+
+            # Refresh utilizations and the access-weighted node mix from
+            # this epoch's traffic.
+            self._refresh_utilization(node_read_bytes, node_write_bytes, epoch_ns)
+            total_touched = sum(node_read_bytes.values()) + sum(node_write_bytes.values())
+            if total_touched > 0:
+                self._access_mix = {
+                    node: (node_read_bytes.get(node, 0.0) + node_write_bytes.get(node, 0.0))
+                    / total_touched
+                    for node in set(node_read_bytes) | set(node_write_bytes)
+                }
+            ssd_utilization = self._ssd_utilization(ssd_bytes, epoch_ns)
+        return result
+
+    def _refresh_utilization(
+        self,
+        node_read_bytes: Dict[int, float],
+        node_write_bytes: Dict[int, float],
+        epoch_ns: float,
+    ) -> None:
+        if epoch_ns <= 0:
+            return
+        demands = []
+        nodes = set(node_read_bytes) | set(node_write_bytes)
+        for node in nodes:
+            reads = node_read_bytes.get(node, 0.0)
+            writes = node_write_bytes.get(node, 0.0)
+            total = reads + writes
+            if total <= 0:
+                continue
+            rate = total / (epoch_ns / 1e9)
+            demands.append(
+                self.platform.demand(
+                    f"keydb/{node}", self._path(node), rate, writes / total
+                )
+            )
+        if demands:
+            self._utilization = self.platform.allocate(demands).utilization
+        else:
+            self._utilization = {}
+
+    def _ssd_utilization(self, ssd_bytes: int, epoch_ns: float) -> float:
+        if epoch_ns <= 0 or ssd_bytes == 0 or self.store.flash is None:
+            return 0.0
+        rate = ssd_bytes / (epoch_ns / 1e9)
+        cap = self.store.flash.ssd.spec.read_bandwidth_bytes_per_s
+        return min(0.9, rate / cap)

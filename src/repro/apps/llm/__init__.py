@@ -1,0 +1,20 @@
+"""CPU LLM inference serving: the paper's §5 application study."""
+
+from .backend import BackendSpec, CpuBackend
+from .kvcache import KvCache
+from .model import ModelSpec, alpaca_7b
+from .router import LlmRouter, ServingResult
+from .serving import LLM_CONFIGS, LlmServingExperiment, ServingPoint
+
+__all__ = [
+    "BackendSpec",
+    "CpuBackend",
+    "KvCache",
+    "ModelSpec",
+    "alpaca_7b",
+    "LlmRouter",
+    "ServingResult",
+    "LLM_CONFIGS",
+    "LlmServingExperiment",
+    "ServingPoint",
+]

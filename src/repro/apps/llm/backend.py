@@ -1,0 +1,109 @@
+"""The CPU inference backend model (§5.1, Fig. 9, Fig. 10(b)/(c)).
+
+A backend runs the decode loop with a fixed thread pool (12 in the
+paper's serving experiment).  Its memory behaviour per generated token:
+
+* **weight streaming** — every decode step reads the (batched-effective)
+  model weights; per-backend streaming is limited by its thread count
+  (~1.05 GB/s per thread) and plateaus at ``STREAM_CAP`` — the 24.2 GB/s
+  @ 24 threads plateau of Fig. 10(b);
+* **KV-cache streaming** — attention reads the sequence's whole KV
+  cache per token; KV regions are contiguous ("stored in separate
+  contiguous memory spaces"), so they stream at a higher, prefetch-
+  friendly rate — this is what makes Fig. 10(c) level off near 21 GB/s;
+* **dependent stalls** — token sampling, embedding gathers and control
+  flow issue latency-bound loads that pay the *loaded* latency of the
+  tiers holding the backend's pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+from ...units import gb_per_s
+from .model import ModelSpec, alpaca_7b
+
+__all__ = ["BackendSpec", "CpuBackend"]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Calibration constants of one CPU inference backend."""
+
+    threads: int = 12
+    #: Streaming bandwidth one thread sustains (GB/s), Fig. 10(b) slope.
+    per_thread_stream: float = gb_per_s(1.05)
+    #: Per-backend streaming plateau (Fig. 10(b): 24.2 GB/s @ 24 threads).
+    stream_cap: float = gb_per_s(24.2)
+    #: Effective bytes streamed per generated token (weights / batch +
+    #: working-set share for the serving workload's typical context).
+    bytes_per_token: float = 0.215e9
+    #: Dependent (latency-bound) loads per generated token.
+    deps_per_token: float = 30_000.0
+    #: Sequential KV-cache read bandwidth (contiguous regions prefetch
+    #: well past the gather-limited weight stream).
+    kv_stream: float = gb_per_s(22.0)
+
+    def __post_init__(self) -> None:
+        if self.threads <= 0:
+            raise ConfigurationError("threads must be positive")
+        if min(self.per_thread_stream, self.stream_cap, self.kv_stream) <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if self.bytes_per_token <= 0 or self.deps_per_token < 0:
+            raise ConfigurationError("per-token costs must be positive")
+
+    @property
+    def offered_bandwidth(self) -> float:
+        """Streaming demand this backend pushes at the memory system."""
+        return min(self.threads * self.per_thread_stream, self.stream_cap)
+
+
+class CpuBackend:
+    """Prices decode steps for one backend."""
+
+    def __init__(self, spec: BackendSpec = BackendSpec(), model: ModelSpec = None) -> None:
+        self.spec = spec
+        self.model = model or alpaca_7b()
+
+    def token_time_ns(
+        self,
+        bandwidth_share: float,
+        loaded_latency_ns: float,
+        kv_bytes: int = 0,
+    ) -> float:
+        """Time to generate one token.
+
+        ``bandwidth_share`` is the streaming bandwidth the memory system
+        actually delivers to this backend; ``loaded_latency_ns`` is the
+        placement-weighted loaded latency its dependent loads observe;
+        ``kv_bytes`` is the sequence's KV-cache footprint read by the
+        attention of this step.
+        """
+        if bandwidth_share <= 0:
+            raise ConfigurationError("bandwidth_share must be positive")
+        if kv_bytes < 0:
+            raise ConfigurationError("kv_bytes must be >= 0")
+        stream_ns = self.spec.bytes_per_token / bandwidth_share * 1e9
+        kv_ns = kv_bytes / min(self.spec.kv_stream, bandwidth_share * 2.0) * 1e9
+        stall_ns = self.spec.deps_per_token * loaded_latency_ns
+        return stream_ns + kv_ns + stall_ns
+
+    def tokens_per_second(
+        self,
+        bandwidth_share: float,
+        loaded_latency_ns: float,
+        kv_bytes: int = 0,
+    ) -> float:
+        """Serving rate of this backend under the given conditions."""
+        return 1e9 / self.token_time_ns(bandwidth_share, loaded_latency_ns, kv_bytes)
+
+    def bandwidth_used(
+        self,
+        bandwidth_share: float,
+        loaded_latency_ns: float,
+        kv_bytes: int = 0,
+    ) -> float:
+        """Memory bandwidth this backend consumes (PCM's view, Fig. 10(b)/(c))."""
+        token_time = self.token_time_ns(bandwidth_share, loaded_latency_ns, kv_bytes)
+        return (self.spec.bytes_per_token + kv_bytes) / token_time * 1e9

@@ -1,0 +1,70 @@
+"""KV cache bookkeeping for the decode loop (§5, Fig. 9).
+
+"The KV cache stores key and value projections used as intermediate
+data within this decoding process to avoid recomputation for each token
+generation" — each active sequence owns a contiguous region that grows
+by ``kv_bytes_per_token`` per generated token and is "unique for each
+sequence in the batch" (no sharing across requests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...errors import CapacityError
+from .model import ModelSpec
+
+__all__ = ["KvCache"]
+
+
+class KvCache:
+    """Per-sequence KV cache with a byte budget."""
+
+    def __init__(self, model: ModelSpec, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise CapacityError("KV cache capacity must be positive")
+        self.model = model
+        self.capacity_bytes = capacity_bytes
+        self._tokens: Dict[int, int] = {}
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes in use across all sequences."""
+        return self.model.kv_cache_bytes(sum(self._tokens.values()))
+
+    @property
+    def sequences(self) -> int:
+        """Number of active sequences."""
+        return len(self._tokens)
+
+    def tokens_of(self, seq_id: int) -> int:
+        """Cached token count for one sequence (0 if absent)."""
+        return self._tokens.get(seq_id, 0)
+
+    def bytes_of(self, seq_id: int) -> int:
+        """KV bytes held by one sequence."""
+        return self.model.kv_cache_bytes(self.tokens_of(seq_id))
+
+    def admit(self, seq_id: int, prompt_tokens: int) -> None:
+        """Start a sequence: prefill writes the prompt's KV entries."""
+        if prompt_tokens < 0:
+            raise CapacityError("prompt_tokens must be >= 0")
+        needed = self.model.kv_cache_bytes(prompt_tokens)
+        if self.total_bytes + needed > self.capacity_bytes:
+            raise CapacityError(
+                f"KV cache full: need {needed} bytes, "
+                f"{self.capacity_bytes - self.total_bytes} free"
+            )
+        self._tokens[seq_id] = self._tokens.get(seq_id, 0) + prompt_tokens
+
+    def append_token(self, seq_id: int) -> None:
+        """One decode step: append one token's K/V projections."""
+        if seq_id not in self._tokens:
+            raise CapacityError(f"sequence {seq_id} not admitted")
+        if self.total_bytes + self.model.kv_bytes_per_token > self.capacity_bytes:
+            raise CapacityError("KV cache full")
+        self._tokens[seq_id] += 1
+
+    def release(self, seq_id: int) -> None:
+        """Sequence finished; free its cache."""
+        self._tokens.pop(seq_id, None)

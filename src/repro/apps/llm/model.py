@@ -1,0 +1,59 @@
+"""Transformer model specs for CPU inference (§5.1).
+
+The paper serves **Alpaca-7B** (a LLaMA-7B derivative): 4.1 GB of
+quantized weights.  The spec carries the quantities the serving model
+needs: how many bytes a decode step streams (weights + typical context
+KV) and how large the per-token KV-cache entry is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+from ...units import GIB
+
+__all__ = ["ModelSpec", "alpaca_7b"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An LLM as the inference backend sees it."""
+
+    name: str
+    n_parameters: int
+    weight_bytes: int
+    n_layers: int
+    hidden_size: int
+    #: Bytes appended to the KV cache per generated token (2 tensors x
+    #: layers x hidden x element size).
+    kv_bytes_per_token: int
+
+    def __post_init__(self) -> None:
+        if self.n_parameters <= 0 or self.weight_bytes <= 0:
+            raise ConfigurationError("model sizes must be positive")
+        if self.n_layers <= 0 or self.hidden_size <= 0:
+            raise ConfigurationError("model dimensions must be positive")
+        if self.kv_bytes_per_token <= 0:
+            raise ConfigurationError("kv_bytes_per_token must be positive")
+
+    def kv_cache_bytes(self, tokens: int) -> int:
+        """KV-cache footprint of a sequence of ``tokens``."""
+        if tokens < 0:
+            raise ConfigurationError("token count must be >= 0")
+        return tokens * self.kv_bytes_per_token
+
+
+def alpaca_7b() -> ModelSpec:
+    """The paper's Alpaca 7B model: 4.1 GB of memory (§5.1)."""
+    n_layers, hidden = 32, 4096
+    # fp16 K and V per layer: 2 x layers x hidden x 2 bytes = 512 KiB.
+    kv_per_token = 2 * n_layers * hidden * 2
+    return ModelSpec(
+        name="alpaca-7b",
+        n_parameters=7_000_000_000,
+        weight_bytes=int(4.1 * GIB),
+        n_layers=n_layers,
+        hidden_size=hidden,
+        kv_bytes_per_token=kv_per_token,
+    )

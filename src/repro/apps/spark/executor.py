@@ -1,0 +1,67 @@
+"""Spark executor and application sizing (§4.2.1).
+
+The paper's deployment: 150 executors, each with 1 core and 8 GB of
+on-heap memory (150 cores / 1.2 TB total), running over either three
+plain servers or two CXL servers.  Spark's unified memory manager
+splits each executor's heap between *execution* (shuffle buffers) and
+*storage*; the shuffle fraction here plays the role of
+``spark.shuffle.memoryFraction`` from Fig. 6 — when a stage's shuffle
+working set exceeds it, the executor spills to SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+from ...units import GIB
+
+__all__ = ["ExecutorSpec", "SparkAppSpec"]
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """One Spark executor."""
+
+    cores: int = 1
+    memory_bytes: int = 8 * GIB
+    #: Share of the heap the unified manager lends to shuffle execution.
+    shuffle_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.memory_bytes <= 0:
+            raise ConfigurationError("executor cores and memory must be positive")
+        if not 0.0 < self.shuffle_fraction <= 1.0:
+            raise ConfigurationError("shuffle_fraction must be in (0, 1]")
+
+    @property
+    def shuffle_capacity_bytes(self) -> int:
+        """Heap bytes available to hold shuffle data before spilling."""
+        return int(self.memory_bytes * self.shuffle_fraction)
+
+
+@dataclass(frozen=True)
+class SparkAppSpec:
+    """The whole application: executor count and shape."""
+
+    executors: int = 150
+    executor: ExecutorSpec = ExecutorSpec()
+    #: Load imbalance across executors: the most loaded executor holds
+    #: ``skew`` times the mean partition share (1.0 = perfectly balanced).
+    skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.executors <= 0:
+            raise ConfigurationError("executors must be positive")
+        if self.skew < 1.0:
+            raise ConfigurationError("skew must be >= 1.0")
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across all executors."""
+        return self.executors * self.executor.cores
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Heap across all executors (1.2 TB in the paper)."""
+        return self.executors * self.executor.memory_bytes

@@ -1,0 +1,116 @@
+"""Shuffle mechanics: in-memory passes, spill volumes, SSD and network time.
+
+A Spark shuffle (Fig. 6) moves a stage's output through three media:
+
+* **memory** — partitioning, sorting and fetch buffers stream the data
+  through the executor heap several times (``MEMORY_PASSES``);
+* **SSD** — whatever exceeds the executor's shuffle capacity is spilled:
+  written once, merged, and read back (``SPILL_PASSES`` device passes);
+* **network** — with ``S`` servers, an all-to-all shuffle sends
+  ``(S-1)/S`` of the bytes across the NIC.
+
+The paper's observation that "shuffling overshadows the total execution
+time due to the intensification of data spill issues" (Fig. 7(b)) falls
+out of the SSD term: device bandwidth is two orders of magnitude below
+memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+from ...hw.spec import NicSpec, SsdSpec
+from .executor import SparkAppSpec
+
+__all__ = ["SpillPlan", "plan_spill", "ssd_time_ns", "network_time_ns"]
+
+#: Memory passes per shuffled byte (partition write + sort + fetch copy).
+MEMORY_PASSES = 3.0
+#: Device passes per spilled byte (spill write + merge read-back ≈ 2.5,
+#: accounting for multi-spill merge rounds).
+SPILL_PASSES = 2.5
+#: Spill I/O runs at a fraction of the device's sequential bandwidth:
+#: many small partition files written and merged concurrently by 50
+#: executors per server degenerate into random I/O with fsync barriers.
+#: This is why "shuffling overshadows the total execution time" for the
+#: spill configurations in Fig. 7(b).
+SPILL_IO_EFFICIENCY = 0.055
+
+
+@dataclass(frozen=True)
+class SpillPlan:
+    """How much of a stage's shuffle working set goes to SSD."""
+
+    working_set_bytes: int
+    in_memory_bytes: int
+    spilled_bytes: int
+
+    @property
+    def spill_fraction(self) -> float:
+        """Fraction of the working set that hit the SSD."""
+        if self.working_set_bytes == 0:
+            return 0.0
+        return self.spilled_bytes / self.working_set_bytes
+
+
+def plan_spill(
+    app: SparkAppSpec,
+    shuffle_bytes: int,
+    memory_restriction: float = 1.0,
+) -> SpillPlan:
+    """Split a stage's shuffle working set between heap and SSD.
+
+    ``memory_restriction`` models the paper's spill configurations where
+    executors are limited to 80 % or 60 % of their memory (§4.2.1).
+    Each executor holds ``skew × shuffle_bytes / executors`` at peak; the
+    excess over its (restricted) shuffle capacity spills.
+    """
+    if shuffle_bytes < 0:
+        raise ConfigurationError("shuffle_bytes must be >= 0")
+    if not 0.0 < memory_restriction <= 1.0:
+        raise ConfigurationError("memory_restriction must be in (0, 1]")
+    capacity = app.executor.shuffle_capacity_bytes * memory_restriction
+    per_executor = app.skew * shuffle_bytes / app.executors
+    spilled_per_executor = max(0.0, per_executor - capacity)
+    # The skewed executor model applies to all (upper bound that the paper's
+    # even-partition assumption makes tight at skew=1).
+    spilled = int(spilled_per_executor / max(app.skew, 1.0) * app.executors)
+    spilled = min(spilled, shuffle_bytes)
+    return SpillPlan(
+        working_set_bytes=shuffle_bytes,
+        in_memory_bytes=shuffle_bytes - spilled,
+        spilled_bytes=spilled,
+    )
+
+
+def ssd_time_ns(
+    spilled_bytes: int,
+    servers: int,
+    ssd: SsdSpec,
+    ssds_per_server: int = 2,
+    io_efficiency: float = SPILL_IO_EFFICIENCY,
+) -> float:
+    """Wall time for the spill write + merge read-back across the cluster."""
+    if spilled_bytes <= 0:
+        return 0.0
+    if servers <= 0 or ssds_per_server <= 0:
+        raise ConfigurationError("servers and ssds_per_server must be positive")
+    if not 0.0 < io_efficiency <= 1.0:
+        raise ConfigurationError("io_efficiency must be in (0, 1]")
+    write_bw = ssd.write_bandwidth_bytes_per_s * servers * ssds_per_server * io_efficiency
+    read_bw = ssd.read_bandwidth_bytes_per_s * servers * ssds_per_server * io_efficiency
+    # SPILL_PASSES = 1 write pass + (SPILL_PASSES - 1) read passes.
+    write_ns = spilled_bytes / write_bw * 1e9
+    read_ns = (SPILL_PASSES - 1.0) * spilled_bytes / read_bw * 1e9
+    return write_ns + read_ns
+
+
+def network_time_ns(shuffle_bytes: int, servers: int, nic: NicSpec) -> float:
+    """Wall time of the cross-server leg of an all-to-all shuffle."""
+    if shuffle_bytes <= 0 or servers <= 1:
+        return 0.0
+    cross = shuffle_bytes * (servers - 1) / servers
+    # Every server sends and receives concurrently; the bisection moves
+    # at servers x NIC bandwidth.
+    return cross / (nic.bandwidth_bytes_per_s * servers) * 1e9

@@ -1,0 +1,242 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+``repro <artifact>`` runs the corresponding experiment and prints the
+paper-style rows/series::
+
+    repro fig3            # loaded-latency curves (all four distances)
+    repro fig5 --quick    # KeyDB YCSB table (scaled)
+    repro fig7            # Spark TPC-H normalized times
+    repro fig8            # CXL-only KeyDB pair
+    repro fig10           # LLM serving sweep
+    repro tables          # Tables 1, 2, 3, 4
+    repro cost --r-d 10 --r-c 8 --c 2 --r-t 1.1
+    repro advise --demand-gbps 55 --write-fraction 0.2
+
+The same runners back ``pytest benchmarks/``; the CLI is the
+no-test-harness path for interactive exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis import (
+    TABLE1,
+    TABLE2_HEADERS,
+    TABLE3,
+    TABLE4,
+    ascii_table,
+    fig3_loaded_latency,
+    fig4_path_comparison,
+    fig5_keydb,
+    fig7_spark,
+    fig8_cxl_only,
+    fig10_llm,
+    table2_rows,
+)
+from .core import AbstractCostModel, ConfigAdvisor, WorkloadProfile
+from .hw.presets import paper_cxl_platform
+from .units import gb_per_s
+
+__all__ = ["main"]
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    panels = fig3_loaded_latency(load_points=8 if args.quick else 24)
+    for panel, curves in panels.items():
+        rows = [
+            (mix, f"{c.idle_latency_ns:.1f}", f"{c.peak_bandwidth_gbps:.1f}")
+            for mix, c in curves.items()
+        ]
+        print(ascii_table(["mix", "idle ns", "peak GB/s"], rows, title=f"\nFig. 3 [{panel}]"))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    data = fig4_path_comparison(load_points=8 if args.quick else 24)
+    for pattern, per_mix in data.items():
+        rows = []
+        for mix, panels in per_mix.items():
+            for panel, curve in panels.items():
+                rows.append(
+                    (mix, panel, f"{curve.idle_latency_ns:.1f}",
+                     f"{curve.peak_bandwidth_gbps:.1f}")
+                )
+        print(ascii_table(
+            ["mix", "path", "idle ns", "peak GB/s"], rows,
+            title=f"\nFig. 4 [{pattern}]",
+        ))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    scale = (16_384, 20_000) if args.quick else (65_536, 100_000)
+    result = fig5_keydb(record_count=scale[0], total_ops=scale[1])
+    rows = []
+    for config, per_wl in result.throughput_table():
+        rows.append([config] + [f"{per_wl[w]:.0f}" for w in ("A", "B", "C", "D")])
+    print(ascii_table(["config", "A kops", "B kops", "C kops", "D kops"], rows,
+                      title="Fig. 5(a): KeyDB YCSB throughput"))
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    results = fig7_spark()
+    base = {q: r.total_ns for q, r in results["mmem"].items()}
+    rows = []
+    for name, per_query in results.items():
+        rows.append(
+            [name]
+            + [f"{per_query[q].total_ns / base[q]:.2f}" for q in sorted(base)]
+            + [f"{per_query['Q9'].shuffle_fraction * 100:.0f}%"]
+        )
+    print(ascii_table(["config"] + sorted(base) + ["Q9 shuffle"], rows,
+                      title="Fig. 7: Spark TPC-H (normalized to mmem)"))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    scale = (20_480, 20_000) if args.quick else (102_400, 150_000)
+    pair = fig8_cxl_only(record_count=scale[0], total_ops=scale[1])
+    print(
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ("mmem throughput", f"{pair.mmem.throughput_ops_per_s / 1e3:.0f} kops/s"),
+                ("cxl throughput", f"{pair.cxl.throughput_ops_per_s / 1e3:.0f} kops/s"),
+                ("throughput drop", f"{pair.throughput_drop * 100:.1f}%"),
+                ("p50 latency penalty", f"{pair.latency_penalty(50) * 100:.1f}%"),
+                ("p99 latency penalty", f"{pair.latency_penalty(99) * 100:.1f}%"),
+            ],
+            title="Fig. 8: KeyDB bound to CXL vs MMEM (§4.3)",
+        )
+    )
+    return 0
+
+
+def _cmd_fig10(args: argparse.Namespace) -> int:
+    result = fig10_llm()
+    configs = list(result.serving)
+    rows = []
+    for point in result.serving["mmem"]:
+        rows.append(
+            [point.threads]
+            + [f"{result.rate(c, point.threads):.0f}" for c in configs]
+        )
+    print(ascii_table(["threads"] + configs, rows,
+                      title="Fig. 10(a): LLM serving rate (tokens/s)"))
+    print("\nFig. 10(b) (threads, GB/s):", result.fig10b)
+    print("Fig. 10(c) (KV GiB, GB/s):", result.fig10c)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print(ascii_table(["configuration", "description"], TABLE1, title="Table 1"))
+    print()
+    print(ascii_table(TABLE2_HEADERS, table2_rows(), title="Table 2"))
+    print()
+    print(ascii_table(["parameter", "description", "example"], TABLE3, title="Table 3"))
+    print()
+    print(ascii_table(["GH200 tier", "CXL analogue"], TABLE4, title="Table 4"))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    model = AbstractCostModel(r_d=args.r_d, r_c=args.r_c, c=args.c, r_t=args.r_t)
+    est = model.estimate()
+    print(
+        ascii_table(
+            ["quantity", "value"],
+            [
+                ("N_cxl / N_baseline", f"{est.server_ratio * 100:.2f}%"),
+                ("servers saved", f"{est.servers_saved_fraction * 100:.2f}%"),
+                ("TCO saving", f"{est.tco_saving * 100:.2f}%"),
+                ("breakeven R_t", f"{model.breakeven_r_t():.3f}"),
+            ],
+            title="Abstract Cost Model (§6)",
+        )
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .analysis import validate_anchors
+
+    checks = validate_anchors()
+    failures = 0
+    for check in checks:
+        mark = "ok " if check.ok else "FAIL"
+        print(f"[{mark}] {check.name}: measured {check.measured}, "
+              f"expected {check.expected}")
+        failures += 0 if check.ok else 1
+    print(f"\n{len(checks) - failures}/{len(checks)} anchors hold")
+    return 1 if failures else 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    advisor = ConfigAdvisor(paper_cxl_platform(snc_enabled=True))
+    profile = WorkloadProfile(
+        demand_bytes_per_s=gb_per_s(args.demand_gbps),
+        write_fraction=args.write_fraction,
+        working_set_bytes=int(args.working_set_gib * 2**30),
+        locality=args.locality,
+        spans_sockets=args.spans_sockets,
+    )
+    for advice in advisor.advise(profile):
+        print(f"[{advice.severity.value:9s}] {advice.code}: {advice.message}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the EuroSys'24 ASIC CXL paper's artifacts.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, doc in (
+        ("fig3", _cmd_fig3, "loaded-latency curves (§3)"),
+        ("fig4", _cmd_fig4, "distance/mix/pattern comparison (§3.3)"),
+        ("fig5", _cmd_fig5, "KeyDB YCSB (§4.1)"),
+        ("fig7", _cmd_fig7, "Spark TPC-H (§4.2)"),
+        ("fig8", _cmd_fig8, "KeyDB on CXL only (§4.3)"),
+        ("fig10", _cmd_fig10, "LLM serving (§5)"),
+        ("tables", _cmd_tables, "Tables 1/2/3/4"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("--quick", action="store_true", help="small, fast run")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("cost", help="Abstract Cost Model (§6)")
+    p.add_argument("--r-d", type=float, default=10.0)
+    p.add_argument("--r-c", type=float, default=8.0)
+    p.add_argument("--c", type=float, default=2.0)
+    p.add_argument("--r-t", type=float, default=1.1)
+    p.set_defaults(func=_cmd_cost)
+
+    p = sub.add_parser("validate", help="check every fast calibration anchor")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("advise", help="configuration advisor (§3.4/§5.3)")
+    p.add_argument("--demand-gbps", type=float, default=50.0)
+    p.add_argument("--write-fraction", type=float, default=0.0)
+    p.add_argument("--working-set-gib", type=float, default=0.0)
+    p.add_argument("--locality", type=float, default=1.0)
+    p.add_argument("--spans-sockets", action="store_true")
+    p.set_defaults(func=_cmd_advise)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

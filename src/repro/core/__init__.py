@@ -1,0 +1,34 @@
+"""The paper's contributions: Abstract Cost Model, spare-core revenue
+model, bandwidth-aware placement, and the configuration advisor."""
+
+from .advisor import Advice, ConfigAdvisor, Severity, WorkloadProfile
+from .cost_model import AbstractCostModel, CostEstimate
+from .cost_sweep import SweepPoint, fixed_cost_r_t, sweep_c, sweep_r_c, sweep_r_t
+from .fleet import ClassPlan, FleetPlan, FleetPlanner, WorkloadClass
+from .placement import BandwidthAwarePlacer, PlacementReport, SplitPoint
+from .pooling import PoolSavingsModel
+from .vcpu import PROCESSOR_SERIES, SpareCoreModel
+
+__all__ = [
+    "Advice",
+    "ConfigAdvisor",
+    "Severity",
+    "WorkloadProfile",
+    "AbstractCostModel",
+    "CostEstimate",
+    "SweepPoint",
+    "ClassPlan",
+    "FleetPlan",
+    "FleetPlanner",
+    "WorkloadClass",
+    "fixed_cost_r_t",
+    "sweep_c",
+    "sweep_r_c",
+    "sweep_r_t",
+    "BandwidthAwarePlacer",
+    "PoolSavingsModel",
+    "PlacementReport",
+    "SplitPoint",
+    "PROCESSOR_SERIES",
+    "SpareCoreModel",
+]

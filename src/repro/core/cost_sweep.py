@@ -1,0 +1,87 @@
+"""Sensitivity analysis over the Abstract Cost Model's parameters.
+
+§6 closes by noting the model "is designed to be adaptable" — fixed
+infrastructure costs fold into ``R_t``, and operators will want to know
+how the saving moves with each input.  These sweeps answer the obvious
+deployment questions: how fast does the saving erode as CXL servers get
+pricier, how much does CXL's performance gap (``R_c/R_d``) matter, and
+what capacity ratio ``C`` maximizes the saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import CostModelError
+from .cost_model import AbstractCostModel
+
+__all__ = ["SweepPoint", "sweep_r_t", "sweep_c", "sweep_r_c", "fixed_cost_r_t"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sample of a sensitivity sweep."""
+
+    value: float  # the swept parameter's value
+    server_ratio: float
+    tco_saving: float
+
+
+def sweep_r_t(
+    model: AbstractCostModel, r_t_values: Sequence[float]
+) -> List[SweepPoint]:
+    """TCO saving vs the CXL server cost premium."""
+    out = []
+    for r_t in r_t_values:
+        m = AbstractCostModel(model.r_d, model.r_c, model.c, r_t)
+        out.append(SweepPoint(r_t, m.server_ratio(), m.tco_saving()))
+    return out
+
+
+def sweep_c(model: AbstractCostModel, c_values: Sequence[float]) -> List[SweepPoint]:
+    """TCO saving vs the MMEM:CXL capacity ratio.
+
+    Smaller ``C`` (more CXL per server) keeps more of the working set
+    off the SSD, so the saving grows as ``C`` shrinks — until the
+    parameters leave the model's validity region, which raises
+    :class:`~repro.errors.CostModelError` and ends the sweep.
+    """
+    out = []
+    for c in c_values:
+        try:
+            m = AbstractCostModel(model.r_d, model.r_c, c, model.r_t)
+            out.append(SweepPoint(c, m.server_ratio(), m.tco_saving()))
+        except CostModelError:
+            break
+    return out
+
+
+def sweep_r_c(
+    model: AbstractCostModel, r_c_values: Sequence[float]
+) -> List[SweepPoint]:
+    """TCO saving vs CXL's relative performance."""
+    out = []
+    for r_c in r_c_values:
+        m = AbstractCostModel(model.r_d, r_c, model.c, model.r_t)
+        out.append(SweepPoint(r_c, m.server_ratio(), m.tco_saving()))
+    return out
+
+
+def fixed_cost_r_t(
+    base_server_cost: float,
+    cxl_memory_cost: float,
+    controller_cost: float = 0.0,
+    switch_cost: float = 0.0,
+    cabling_cost: float = 0.0,
+) -> float:
+    """Fold §6's "more realistic" fixed costs into an ``R_t``.
+
+    ``R_t = (base + CXL memory + controller + switch + PCB/cables) / base``.
+    """
+    if base_server_cost <= 0:
+        raise CostModelError("base server cost must be positive")
+    extras = cxl_memory_cost + controller_cost + switch_cost + cabling_cost
+    if extras < 0:
+        raise CostModelError("component costs must be >= 0")
+    return (base_server_cost + extras) / base_server_cost

@@ -1,0 +1,202 @@
+"""Fleet planning: the paper's pieces composed into one decision tool.
+
+A datacenter operator reading the paper asks: *for each of my workload
+classes, should its fleet adopt CXL, in what role, and what does it
+save?*  This module answers per class by composing the repository's
+models:
+
+* **capacity-bound** classes (KV stores, analytics) — the §6 Abstract
+  Cost Model sizes the CXL cluster and the TCO saving;
+* **bandwidth-bound** classes (inference, streaming) — the §3.4
+  placement optimizer picks the N:M interleave and quantifies the
+  latency relief;
+* **core-bound** classes (elastic compute) — the §4.3 spare-core model
+  quantifies recoverable revenue;
+* classes that fit comfortably in DRAM are left alone (the advisor's
+  "dram-only" verdict).
+
+The output is deliberately conservative: a class only gets a CXL
+recommendation when the corresponding model shows a strictly positive
+benefit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import CostModelError
+from ..hw.topology import Platform
+from .cost_model import AbstractCostModel
+from .placement import BandwidthAwarePlacer
+from .vcpu import SpareCoreModel
+
+__all__ = ["WorkloadClass", "ClassPlan", "FleetPlan", "FleetPlanner"]
+
+
+class Verdict(enum.Enum):
+    """What a class should do about CXL."""
+
+    DRAM_ONLY = "dram-only"
+    CXL_CAPACITY = "cxl-capacity-expansion"
+    CXL_BANDWIDTH = "cxl-bandwidth-interleave"
+    CXL_SPARE_CORES = "cxl-spare-cores"
+
+
+@dataclass(frozen=True)
+class WorkloadClass:
+    """One fleet workload class, in planner terms."""
+
+    name: str
+    servers: int
+    #: Per-server working set vs per-server DRAM: >1 means spilling today.
+    memory_pressure: float
+    #: Peak per-socket bandwidth demand as a fraction of the DRAM peak.
+    bandwidth_pressure: float = 0.0
+    #: §6 microbenchmark inputs for capacity-bound classes.
+    r_d: float = 10.0
+    r_c: float = 8.0
+    #: MMEM:CXL capacity ratio a CXL server of this class would carry.
+    c: float = 2.0
+    #: Relative TCO of that CXL server.
+    r_t: float = 1.1
+    #: vCPU:memory shortfall for core-bound classes (None = balanced).
+    vcpu_actual_ratio: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0:
+            raise CostModelError("servers must be positive")
+        if self.memory_pressure < 0 or self.bandwidth_pressure < 0:
+            raise CostModelError("pressures must be >= 0")
+
+
+@dataclass(frozen=True)
+class ClassPlan:
+    """The planner's verdict for one class."""
+
+    workload: WorkloadClass
+    verdict: Verdict
+    servers_after: int
+    tco_saving: float
+    detail: str
+
+    @property
+    def servers_saved(self) -> int:
+        """Servers removed by the plan."""
+        return self.workload.servers - self.servers_after
+
+
+@dataclass
+class FleetPlan:
+    """All class plans plus fleet-level aggregates."""
+
+    plans: List[ClassPlan] = field(default_factory=list)
+
+    @property
+    def servers_before(self) -> int:
+        """Fleet size today."""
+        return sum(p.workload.servers for p in self.plans)
+
+    @property
+    def servers_after(self) -> int:
+        """Fleet size under the plan."""
+        return sum(p.servers_after for p in self.plans)
+
+    @property
+    def classes_adopting_cxl(self) -> int:
+        """How many classes got a CXL verdict."""
+        return sum(1 for p in self.plans if p.verdict is not Verdict.DRAM_ONLY)
+
+    def fleet_tco_saving(self) -> float:
+        """Server-weighted average TCO saving across classes."""
+        total = self.servers_before
+        if total == 0:
+            return 0.0
+        return sum(p.tco_saving * p.workload.servers for p in self.plans) / total
+
+
+class FleetPlanner:
+    """Applies the per-class decision procedure."""
+
+    #: Bandwidth pressure above which interleaving is worth evaluating.
+    BANDWIDTH_THRESHOLD = 0.6
+
+    def __init__(self, platform: Platform) -> None:
+        if not platform.cxl_nodes():
+            raise CostModelError("planner needs a CXL-capable reference platform")
+        dram = platform.dram_nodes(0)[0]
+        cxl = platform.cxl_nodes()[0]
+        self._placer = BandwidthAwarePlacer(
+            platform.path(0, dram.node_id, initiator_domain=dram.domain),
+            platform.path(0, cxl.node_id),
+        )
+        self._dram_peak = self._placer.dram_path.peak_bandwidth(0.0)
+
+    def plan_class(self, workload: WorkloadClass) -> ClassPlan:
+        """Decide one class."""
+        # Core-bound first: stranded vCPUs are pure upside.
+        if workload.vcpu_actual_ratio is not None and workload.vcpu_actual_ratio < 4.0:
+            spare = SpareCoreModel(actual_ratio=workload.vcpu_actual_ratio)
+            return ClassPlan(
+                workload=workload,
+                verdict=Verdict.CXL_SPARE_CORES,
+                servers_after=workload.servers,
+                tco_saving=spare.recovered_revenue_fraction,
+                detail=(
+                    f"sell {spare.stranded_fraction * 100:.0f}% stranded vCPUs "
+                    f"at a {spare.discount * 100:.0f}% discount: "
+                    f"+{spare.recovered_revenue_fraction * 100:.1f}% revenue (§4.3)"
+                ),
+            )
+
+        # Capacity-bound: working set exceeds DRAM -> §6 model.
+        if workload.memory_pressure > 1.0:
+            model = AbstractCostModel(
+                r_d=workload.r_d, r_c=workload.r_c, c=workload.c, r_t=workload.r_t
+            )
+            saving = model.tco_saving()
+            if saving > 0:
+                after = max(1, round(workload.servers * model.server_ratio()))
+                return ClassPlan(
+                    workload=workload,
+                    verdict=Verdict.CXL_CAPACITY,
+                    servers_after=after,
+                    tco_saving=saving,
+                    detail=(
+                        f"{workload.servers} -> {after} servers at equal "
+                        f"performance; TCO saving {saving * 100:.1f}% (§6)"
+                    ),
+                )
+
+        # Bandwidth-bound: near or past the knee -> §3.4 optimizer.
+        if workload.bandwidth_pressure >= self.BANDWIDTH_THRESHOLD:
+            demand = workload.bandwidth_pressure * self._dram_peak
+            report = self._placer.optimal_split(demand)
+            if report.should_offload:
+                ratio = self._placer.recommend_ratio(demand)
+                return ClassPlan(
+                    workload=workload,
+                    verdict=Verdict.CXL_BANDWIDTH,
+                    servers_after=workload.servers,
+                    # Latency relief is the benefit; monetize conservatively
+                    # as zero TCO and report the gain in the detail.
+                    tco_saving=0.0,
+                    detail=(
+                        f"interleave N:M ≈ {ratio}: average loaded latency "
+                        f"-{report.latency_gain * 100:.0f}% at "
+                        f"{workload.bandwidth_pressure * 100:.0f}% DRAM load (§3.4/§5)"
+                    ),
+                )
+
+        return ClassPlan(
+            workload=workload,
+            verdict=Verdict.DRAM_ONLY,
+            servers_after=workload.servers,
+            tco_saving=0.0,
+            detail="fits in DRAM with bandwidth headroom; no CXL case",
+        )
+
+    def plan(self, classes: List[WorkloadClass]) -> FleetPlan:
+        """Decide every class."""
+        return FleetPlan(plans=[self.plan_class(c) for c in classes])

@@ -1,0 +1,108 @@
+"""Pooling economics: stranded-memory reduction across hosts (§7.1).
+
+The paper's future-work claim is that CXL 2.0/3.0 pooling lets "workloads
+dynamically allocate memory from a pooled resource", decoupling memory
+scaling from CPUs for "substantial cost savings".  The mechanism —
+established by the Pond line of work the paper builds on ([8], [14]) —
+is *stranding*: without pooling, every host must be provisioned for its
+own peak demand, while the pool only needs the peak of the *aggregate*,
+which is far smaller when host peaks don't coincide.
+
+:class:`PoolSavingsModel` quantifies that: given per-host demand samples
+(time-aligned), it compares per-host peak provisioning against pooled
+provisioning at a percentile, and folds the result into an effective
+``R_t`` so the §6 Abstract Cost Model covers pooled deployments too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import CostModelError
+
+__all__ = ["PoolSavingsModel"]
+
+
+@dataclass(frozen=True)
+class PoolSavingsModel:
+    """DRAM provisioning with and without a shared CXL pool.
+
+    Parameters
+    ----------
+    host_demands:
+        A 2-D array-like of shape ``(hosts, samples)``: each row is one
+        host's memory demand over time (bytes).  Samples must be
+        time-aligned across hosts, so column sums are meaningful.
+    percentile:
+        Provisioning percentile (e.g. 99.0): capacity is sized to cover
+        this share of samples; the remainder is assumed absorbed by
+        performance degradation or spill.
+    pool_overhead:
+        Fractional capacity overhead of the pooled design (switch
+        granularity, MLD fragmentation); 0.1 = 10 % extra.
+    """
+
+    host_demands: Sequence[Sequence[float]]
+    percentile: float = 99.0
+    pool_overhead: float = 0.10
+
+    def __post_init__(self) -> None:
+        demands = np.asarray(self.host_demands, dtype=float)
+        if demands.ndim != 2 or demands.shape[0] < 2 or demands.shape[1] < 1:
+            raise CostModelError(
+                "host_demands must be (hosts >= 2, samples >= 1) shaped"
+            )
+        if np.any(demands < 0):
+            raise CostModelError("demands must be non-negative")
+        if not 0.0 < self.percentile <= 100.0:
+            raise CostModelError("percentile must be in (0, 100]")
+        if self.pool_overhead < 0:
+            raise CostModelError("pool_overhead must be >= 0")
+        object.__setattr__(self, "_demands", demands)
+
+    # -- provisioning --------------------------------------------------------
+
+    @property
+    def per_host_provisioned_bytes(self) -> float:
+        """Capacity without pooling: each host sized for its own peak."""
+        per_host = np.percentile(self._demands, self.percentile, axis=1)
+        return float(per_host.sum())
+
+    @property
+    def pooled_provisioned_bytes(self) -> float:
+        """Capacity with pooling: sized for the aggregate's peak."""
+        aggregate = self._demands.sum(axis=0)
+        base = float(np.percentile(aggregate, self.percentile))
+        return base * (1.0 + self.pool_overhead)
+
+    @property
+    def stranded_fraction(self) -> float:
+        """Capacity the pool avoids buying, as a fraction of unpooled."""
+        unpooled = self.per_host_provisioned_bytes
+        if unpooled <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.pooled_provisioned_bytes / unpooled)
+
+    # -- integration with the §6 model -------------------------------------------
+
+    def effective_r_t(
+        self,
+        base_server_cost: float,
+        memory_cost: float,
+        pool_fabric_cost: float = 0.0,
+    ) -> float:
+        """Fold pooling's memory saving into an ``R_t`` for the §6 model.
+
+        A pooled "CXL server" carries only its share of the pool (which
+        is smaller than dedicated memory by the stranded fraction) plus
+        its share of the switch fabric.
+        """
+        if base_server_cost <= 0 or memory_cost < 0 or pool_fabric_cost < 0:
+            raise CostModelError("costs must be positive (fabric may be zero)")
+        pooled_memory_cost = memory_cost * (1.0 - self.stranded_fraction)
+        return (
+            base_server_cost + pooled_memory_cost + pool_fabric_cost
+        ) / (base_server_cost + memory_cost)

@@ -1,0 +1,86 @@
+"""The §4.3 spare-core (Elastic Computing) revenue model.
+
+Growing core counts outpace DDR-slot capacity (Table 2): a server may
+have vCPUs it cannot sell because there is no memory left to pair with
+them at the standard vCPU:memory ratio (1:4 per AWS guidance).  CXL
+expansion lets the provider sell those stranded vCPUs, backed by CXL
+memory, at a discount that reflects the measured performance penalty
+(~12.5 % for KeyDB/YCSB-C in Fig. 8).
+
+The paper's example: a server stuck at 1:3 can sell only 75 % of its
+vCPUs; selling the remaining 25 % at a 20 % discount recovers
+``0.25 * 0.8 / 0.75 ≈ 26.77 %`` additional revenue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CostModelError
+
+__all__ = ["SpareCoreModel", "PROCESSOR_SERIES"]
+
+
+@dataclass(frozen=True)
+class SpareCoreModel:
+    """Revenue impact of CXL-backed instances on a memory-bound server."""
+
+    #: The server's actual memory:vCPU ratio (e.g. 3 for 1:3).
+    actual_ratio: float
+    #: The ratio instances are sold at (e.g. 4 for the standard 1:4).
+    target_ratio: float = 4.0
+    #: Price discount on CXL-backed instances (e.g. 0.2 for 20 %).
+    discount: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.actual_ratio <= 0 or self.target_ratio <= 0:
+            raise CostModelError("ratios must be positive")
+        if self.actual_ratio > self.target_ratio:
+            raise CostModelError(
+                "actual ratio exceeds target: the server is not memory-bound"
+            )
+        if not 0.0 <= self.discount < 1.0:
+            raise CostModelError("discount must be in [0, 1)")
+
+    @property
+    def sellable_fraction(self) -> float:
+        """vCPUs sellable at the target ratio without CXL (e.g. 0.75)."""
+        return self.actual_ratio / self.target_ratio
+
+    @property
+    def stranded_fraction(self) -> float:
+        """vCPUs stranded by the memory shortfall (e.g. 0.25)."""
+        return 1.0 - self.sellable_fraction
+
+    @property
+    def recovered_revenue_fraction(self) -> float:
+        """Revenue recovered by selling stranded vCPUs at the discount,
+        relative to what the server earns without CXL.
+
+        The paper's 1:3 / 20 %-discount example yields ≈ 26.77 %.
+        """
+        recovered = self.stranded_fraction * (1.0 - self.discount)
+        return recovered / self.sellable_fraction
+
+    @property
+    def revenue_gain(self) -> float:
+        """Total revenue multiplier from enabling CXL-backed instances."""
+        return 1.0 + self.recovered_revenue_fraction
+
+    def required_cxl_bytes(self, vcpus: int, bytes_per_vcpu: int) -> int:
+        """CXL capacity needed to sell the stranded vCPUs at target ratio."""
+        if vcpus <= 0 or bytes_per_vcpu <= 0:
+            raise CostModelError("vcpus and bytes_per_vcpu must be positive")
+        return int(self.stranded_fraction * vcpus * bytes_per_vcpu)
+
+
+#: Table 2: Intel processor series and the widening memory gap.
+#: (year, cpu, max vCPU/server, channels/socket, max memory TB,
+#:  required memory at 1:4 in TB)
+PROCESSOR_SERIES = (
+    (2021, "IceLake-SP", 160, "8xDDR4-3200", 4.0, 0.64),
+    (2022, "Sapphire Rapids", 192, "8xDDR5-4800", 4.0, 0.768),
+    (2023, "Emerald Rapids", 256, "8xDDR5-6400", 4.0, 1.0),
+    (2024, "Sierra Forest", 1152, "12", 4.0, 4.5),
+    (2025, "Clearwater Forest", 1152, "TBD", 4.0, 4.5),
+)

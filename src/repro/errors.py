@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause.
+The subclasses map onto the major subsystems (hardware model, simulation
+engine, memory management, applications, cost model) so that tests and
+downstream tooling can assert on the *kind* of failure rather than on
+message text.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "CapacityError",
+    "SimulationError",
+    "AllocationError",
+    "PolicyError",
+    "MigrationError",
+    "WorkloadError",
+    "CostModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A spec, preset, or experiment configuration is invalid."""
+
+
+class TopologyError(ConfigurationError):
+    """A platform topology is malformed (unknown node, bad wiring, ...)."""
+
+
+class CapacityError(ReproError):
+    """A memory device or tier ran out of capacity."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class AllocationError(ReproError):
+    """A page/region allocation could not be satisfied."""
+
+
+class PolicyError(ReproError):
+    """A memory policy was constructed or applied incorrectly."""
+
+
+class MigrationError(ReproError):
+    """A page migration request was invalid (bad page, same node, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured or exhausted."""
+
+
+class CostModelError(ReproError):
+    """Abstract Cost Model parameters are out of their valid domain."""

@@ -1,0 +1,61 @@
+"""Hardware model: devices, interconnects, topology, calibrated latency/bandwidth.
+
+The model is calibrated to the ASIC CXL measurements published in the
+paper (see :mod:`repro.hw.calibration`); everything downstream — kernel
+tiering policies, application simulations, the cost model — consumes the
+surfaces defined here.
+"""
+
+from .bandwidth import PeakBandwidthCurve, write_fraction_of_mix
+from .calibration import ANCHORS, PaperAnchors, path_bandwidth_curve, path_latency_model
+from .device import MemoryNode, NodeKind, SharedResource, SsdDevice
+from .latency import IdleLatency, LoadedLatencyModel, QueueingModel
+from .paths import MemoryPath, PathKind
+from .pooling import CxlSwitch, MemoryPool, PoolSlice
+from .presets import (
+    a1000_card,
+    paper_baseline_platform,
+    paper_baseline_server_spec,
+    paper_cxl_platform,
+    paper_cxl_server_spec,
+    paper_testbed,
+    sapphire_rapids_cpu,
+)
+from .spec import CpuSpec, CxlDeviceSpec, DimmSpec, NicSpec, ServerSpec, SsdSpec
+from .topology import Platform, build_platform
+
+__all__ = [
+    "PeakBandwidthCurve",
+    "write_fraction_of_mix",
+    "ANCHORS",
+    "PaperAnchors",
+    "path_bandwidth_curve",
+    "path_latency_model",
+    "MemoryNode",
+    "NodeKind",
+    "SharedResource",
+    "SsdDevice",
+    "IdleLatency",
+    "LoadedLatencyModel",
+    "QueueingModel",
+    "MemoryPath",
+    "PathKind",
+    "CxlSwitch",
+    "MemoryPool",
+    "PoolSlice",
+    "a1000_card",
+    "paper_baseline_platform",
+    "paper_baseline_server_spec",
+    "paper_cxl_platform",
+    "paper_cxl_server_spec",
+    "paper_testbed",
+    "sapphire_rapids_cpu",
+    "CpuSpec",
+    "CxlDeviceSpec",
+    "DimmSpec",
+    "NicSpec",
+    "ServerSpec",
+    "SsdSpec",
+    "Platform",
+    "build_platform",
+]

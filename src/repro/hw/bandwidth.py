@@ -1,0 +1,111 @@
+"""Peak-bandwidth curves as a function of the read/write mix.
+
+The paper's §3 measurements show that every memory path's *peak*
+(saturation) bandwidth depends on the workload's write share, and not
+always monotonically:
+
+* local DDR5 peaks read-only (67 GB/s) and declines toward write-only
+  (54.6 GB/s) — Fig. 3(a);
+* remote-socket DDR5 degrades sharply with writes because of UPI
+  coherence traffic, and is worst write-only (one UPI direction idle) —
+  Fig. 3(b);
+* CXL peaks at the 2:1 read:write mix (56.7 GB/s) because a mixed stream
+  uses both PCIe directions, while read-only cannot — Fig. 3(c);
+* remote-socket CXL shows the same shape at roughly a third of the level
+  (20.4 GB/s peak), the Remote Snoop Filter limitation — Fig. 3(d).
+
+:class:`PeakBandwidthCurve` captures all four shapes as piecewise-linear
+interpolation over write-fraction control points, which is exactly how we
+calibrate to the paper: each measured mix is a control point.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["PeakBandwidthCurve", "write_fraction_of_mix"]
+
+
+def write_fraction_of_mix(reads: float, writes: float) -> float:
+    """Write share of a read:write mix, e.g. ``(2, 1) -> 1/3``.
+
+    The paper labels workloads by read:write ratio (``1:0`` read-only,
+    ``0:1`` write-only); this converts that label into the [0, 1] write
+    fraction used throughout the simulator.
+    """
+    if reads < 0 or writes < 0:
+        raise ConfigurationError("read/write parts must be non-negative")
+    total = reads + writes
+    if total == 0:
+        raise ConfigurationError("mix must have at least one part")
+    return writes / total
+
+
+@dataclass(frozen=True)
+class PeakBandwidthCurve:
+    """Piecewise-linear peak bandwidth (bytes/s) vs write fraction.
+
+    ``points`` are ``(write_fraction, bytes_per_second)`` control points;
+    they must cover write fractions 0 and 1 and be strictly increasing in
+    write fraction.  Between control points the curve interpolates
+    linearly, which matches how the paper samples a handful of mixes and
+    reads trends off the plots.
+    """
+
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise ConfigurationError("curve needs at least two control points")
+        fracs = [p[0] for p in self.points]
+        if fracs != sorted(set(fracs)):
+            raise ConfigurationError("control points must be strictly increasing")
+        if fracs[0] != 0.0 or fracs[-1] != 1.0:
+            raise ConfigurationError("curve must cover write fractions 0 and 1")
+        for _, bw in self.points:
+            if bw <= 0:
+                raise ConfigurationError("peak bandwidth must be positive")
+
+    @classmethod
+    def from_points(
+        cls, points: Sequence[Tuple[float, float]]
+    ) -> "PeakBandwidthCurve":
+        """Build a curve from any iterable of (write_fraction, bytes/s)."""
+        return cls(tuple((float(f), float(b)) for f, b in points))
+
+    @classmethod
+    def flat(cls, bytes_per_second: float) -> "PeakBandwidthCurve":
+        """A mix-independent capacity (links that don't care about mix)."""
+        return cls(((0.0, float(bytes_per_second)), (1.0, float(bytes_per_second))))
+
+    def __call__(self, write_fraction: float) -> float:
+        """Peak bandwidth in bytes/s at the given write fraction."""
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ConfigurationError(
+                f"write_fraction must be in [0, 1], got {write_fraction}"
+            )
+        fracs = [p[0] for p in self.points]
+        i = bisect_right(fracs, write_fraction)
+        if i == 0:
+            return self.points[0][1]
+        if i == len(self.points):
+            return self.points[-1][1]
+        (f0, b0), (f1, b1) = self.points[i - 1], self.points[i]
+        if f1 == f0:  # pragma: no cover - excluded by validation
+            return b1
+        t = (write_fraction - f0) / (f1 - f0)
+        return b0 + t * (b1 - b0)
+
+    def peak(self) -> Tuple[float, float]:
+        """The (write_fraction, bytes/s) control point with maximum bandwidth."""
+        return max(self.points, key=lambda p: p[1])
+
+    def scaled(self, factor: float) -> "PeakBandwidthCurve":
+        """A copy with every control point's bandwidth multiplied by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        return PeakBandwidthCurve(tuple((f, b * factor) for f, b in self.points))

@@ -1,0 +1,104 @@
+"""Interconnect models: UPI links and PCIe/CXL links.
+
+The paper attributes three distinct bandwidth cliffs to interconnects:
+
+* cross-socket DRAM traffic loses bandwidth as the write share grows
+  (UPI coherence traffic), and write-only is worst because it exercises
+  only one direction of the bidirectional UPI (§3.2, Fig. 3(b));
+* local CXL tops out below DRAM because of PCIe framing overhead, and
+  read-only tops out below the mixed peak because a one-direction stream
+  cannot use both PCIe directions (§3.2, Fig. 3(c));
+* remote-socket CXL is halved again by the CPU's Remote Snoop Filter
+  (§3.2, Fig. 3(d)) — a platform erratum, not a protocol property.
+
+Each cliff is expressed as a :class:`~repro.hw.device.SharedResource`
+with the corresponding capacity curve, so the max-min allocator and the
+loaded-latency model see them like any other bottleneck.
+"""
+
+from __future__ import annotations
+
+from .bandwidth import PeakBandwidthCurve
+from .calibration import ANCHORS, PaperAnchors, path_bandwidth_curve
+from .device import SharedResource
+from .spec import CxlDeviceSpec
+
+__all__ = [
+    "upi_link",
+    "pcie_link",
+    "rsf_limit",
+    "nic_link",
+    "ssd_channel",
+    "UPI_PEAK_GBPS",
+]
+
+#: Aggregate UPI bandwidth between two SPR sockets (3 links x ~16 GB/s
+#: usable per direction, rounded to what the remote-DRAM read curve needs).
+UPI_PEAK_GBPS = 64.0
+
+
+def upi_link(
+    socket_a: int, socket_b: int, anchors: PaperAnchors = ANCHORS
+) -> SharedResource:
+    """The coherent cross-socket link between two sockets.
+
+    Its capacity curve *is* the remote-DRAM curve from the paper: reads
+    cross at nearly full speed; the write share erodes capacity through
+    coherence traffic, bottoming out write-only at ~23 GB/s.
+    """
+    lo, hi = sorted((socket_a, socket_b))
+    return SharedResource(
+        name=f"upi/{lo}-{hi}",
+        curve=path_bandwidth_curve("mmem_remote", anchors),
+    )
+
+
+def pcie_link(
+    socket: int, device_index: int, spec: CxlDeviceSpec
+) -> SharedResource:
+    """The PCIe Gen5 link carrying a CXL card's CXL.mem traffic.
+
+    Capacity is the raw link rate derated by protocol efficiency; the
+    mix-shaped ceiling measured for the A1000 lives on the device
+    resource itself (see :func:`repro.hw.topology.build_platform`), so
+    the link is modeled mix-flat.  73.6 % efficiency is the figure the
+    paper quotes for the A1000 versus Intel's 60 % FPGA result.
+    """
+    efficiency = 0.736
+    return SharedResource(
+        name=f"skt{socket}/cxl{device_index}/pcie",
+        curve=PeakBandwidthCurve.flat(spec.pcie_raw_bytes_per_s * 2 * efficiency),
+    )
+
+
+def rsf_limit(
+    socket: int, device_index: int, anchors: PaperAnchors = ANCHORS
+) -> SharedResource:
+    """The Remote Snoop Filter ceiling on cross-socket CXL accesses.
+
+    Only remote-socket flows to a CXL device cross this virtual resource;
+    its curve is the paper's measured remote-CXL ceiling (20.4 GB/s at
+    2:1).  Next-generation CPUs are expected to remove it — modeling it
+    as a separate resource lets experiments simply drop it to ask
+    "what if RSF were fixed?" (§3.4).
+    """
+    return SharedResource(
+        name=f"skt{socket}/cxl{device_index}/rsf",
+        curve=path_bandwidth_curve("cxl_remote", anchors),
+    )
+
+
+def nic_link(server: str, bandwidth_bytes_per_s: float) -> SharedResource:
+    """A server's network link as a flat shared resource."""
+    return SharedResource(
+        name=f"{server}/nic",
+        curve=PeakBandwidthCurve.flat(bandwidth_bytes_per_s),
+    )
+
+
+def ssd_channel(server: str, index: int, bandwidth_bytes_per_s: float) -> SharedResource:
+    """An SSD's sequential-bandwidth budget as a flat shared resource."""
+    return SharedResource(
+        name=f"{server}/ssd{index}",
+        curve=PeakBandwidthCurve.flat(bandwidth_bytes_per_s),
+    )

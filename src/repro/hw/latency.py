@@ -1,0 +1,123 @@
+"""Loaded-latency model: idle latency plus contention queueing delay.
+
+The paper's central microbenchmark observation (§3.2) is the
+*loaded-latency curve*: latency is flat at low-to-moderate bandwidth
+utilization, then "increases exponentially as bandwidth nears full
+capacity", with the knee at 75-83 % utilization for local DDR5 and
+earlier for remote-socket paths (queue contention at the memory
+controller).  Higher write shares shift the knee left because the peak
+bandwidth itself shrinks (see :mod:`repro.hw.bandwidth`).
+
+We model this with the standard queueing-flavoured form
+
+    L(u) = L0(mix) + amplitude * u**sharpness / (1 - u)
+
+where ``u`` is utilization of the bottleneck resource.  ``sharpness``
+controls how flat the curve stays before the knee (large = flatter, knee
+closer to saturation); ``amplitude`` scales the blow-up.  ``1/(1-u)`` is
+the M/M/1 waiting-time factor; the ``u**sharpness`` prefactor suppresses
+it at low load, matching the measured flatness that plain M/M/1 lacks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["IdleLatency", "QueueingModel", "LoadedLatencyModel"]
+
+#: Utilization is clamped here so latency stays finite at nominal 100 %.
+MAX_UTILIZATION = 0.995
+
+
+@dataclass(frozen=True)
+class IdleLatency:
+    """Unloaded latency (ns) as a function of the write fraction.
+
+    The paper measures different idle latencies for reads and
+    (non-temporal) writes — e.g. remote DDR5 is 130 ns for reads but only
+    71.77 ns write-only, because NT stores complete asynchronously.  We
+    interpolate linearly between the two endpoints.
+    """
+
+    read_ns: float
+    write_ns: float
+
+    def __post_init__(self) -> None:
+        if self.read_ns <= 0 or self.write_ns <= 0:
+            raise ConfigurationError("idle latencies must be positive")
+
+    def __call__(self, write_fraction: float) -> float:
+        """Idle latency at the given write fraction."""
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ConfigurationError("write_fraction must be in [0, 1]")
+        return self.read_ns + (self.write_ns - self.read_ns) * write_fraction
+
+
+@dataclass(frozen=True)
+class QueueingModel:
+    """Contention delay (ns) as a function of utilization in [0, 1].
+
+    ``max_queue`` bounds the ``1/(1-u)`` factor: a loaded-latency probe
+    is closed-loop (MLC runs 16 threads with finite outstanding
+    requests), so the queue — and hence the measured latency — cannot
+    grow without bound even at nominal 100 % utilization.
+    """
+
+    amplitude_ns: float
+    sharpness: float
+    max_queue: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude_ns < 0:
+            raise ConfigurationError("amplitude must be >= 0")
+        if self.sharpness < 1:
+            raise ConfigurationError("sharpness must be >= 1")
+        if self.max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+
+    def delay_ns(self, utilization: float) -> float:
+        """Queueing delay at ``utilization`` (clamped below saturation)."""
+        if utilization < 0:
+            raise ConfigurationError("utilization must be >= 0")
+        u = min(utilization, MAX_UTILIZATION)
+        if u == 0.0:
+            return 0.0
+        queue_factor = min(1.0 / (1.0 - u), self.max_queue)
+        return self.amplitude_ns * math.pow(u, self.sharpness) * queue_factor
+
+    def knee_utilization(self, threshold_ns: float = 50.0) -> float:
+        """Utilization where queueing delay first exceeds ``threshold_ns``.
+
+        This is the quantitative version of the paper's "latency starts
+        to significantly increase at 75-83 % of bandwidth utilization".
+        Found by bisection (the delay is monotonically increasing).
+        """
+        if self.delay_ns(MAX_UTILIZATION) < threshold_ns:
+            return 1.0
+        lo, hi = 0.0, MAX_UTILIZATION
+        for _ in range(60):
+            mid = (lo + hi) / 2
+            if self.delay_ns(mid) < threshold_ns:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
+@dataclass(frozen=True)
+class LoadedLatencyModel:
+    """Full loaded-latency surface for one memory path."""
+
+    idle: IdleLatency
+    queueing: QueueingModel
+
+    def latency_ns(self, utilization: float, write_fraction: float = 0.0) -> float:
+        """Loaded latency at the given utilization and write mix."""
+        return self.idle(write_fraction) + self.queueing.delay_ns(utilization)
+
+    def idle_ns(self, write_fraction: float = 0.0) -> float:
+        """Latency with zero contention."""
+        return self.idle(write_fraction)

@@ -1,0 +1,74 @@
+"""Memory paths: what a load/store from socket S to node N traverses.
+
+A :class:`MemoryPath` bundles the path *kind* (the paper's four
+distances: MMEM, MMEM-r, CXL, CXL-r, plus same-socket-other-SNC-domain),
+the loaded-latency model for that kind, and the ordered chain of shared
+resources the traffic crosses.  Applications hold paths; each allocation
+round tells them their bottleneck utilization, from which they read
+their current loaded latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from .bandwidth import PeakBandwidthCurve
+from .latency import LoadedLatencyModel
+
+__all__ = ["PathKind", "MemoryPath"]
+
+
+class PathKind(enum.Enum):
+    """The paper's memory-access distance classes (§3.2, Fig. 4)."""
+
+    MMEM_LOCAL = "mmem"
+    MMEM_SNC = "mmem-snc"  # same socket, different SNC domain
+    MMEM_REMOTE = "mmem-r"
+    CXL_LOCAL = "cxl"
+    CXL_REMOTE = "cxl-r"
+
+    @property
+    def is_cxl(self) -> bool:
+        """True if the target is a CXL expander."""
+        return self in (PathKind.CXL_LOCAL, PathKind.CXL_REMOTE)
+
+    @property
+    def is_remote(self) -> bool:
+        """True if the path crosses the socket interconnect."""
+        return self in (PathKind.MMEM_REMOTE, PathKind.CXL_REMOTE)
+
+
+@dataclass(frozen=True)
+class MemoryPath:
+    """One (initiator socket → target node) access path."""
+
+    kind: PathKind
+    initiator_socket: int
+    target_node: int
+    #: Ordered names of the shared resources this path's traffic crosses.
+    resources: Tuple[str, ...]
+    latency_model: LoadedLatencyModel
+    #: End-to-end peak bandwidth of the path (min over its chain at the
+    #: pure mixes is already encoded by the chain; this curve is the
+    #: *path-level* calibration used for single-flow saturation).
+    bandwidth_curve: PeakBandwidthCurve
+
+    def idle_latency_ns(self, write_fraction: float = 0.0) -> float:
+        """Unloaded access latency for the given mix."""
+        return self.latency_model.idle_ns(write_fraction)
+
+    def loaded_latency_ns(
+        self, utilization: float, write_fraction: float = 0.0
+    ) -> float:
+        """Access latency at the given bottleneck utilization and mix."""
+        return self.latency_model.latency_ns(utilization, write_fraction)
+
+    def peak_bandwidth(self, write_fraction: float = 0.0) -> float:
+        """Saturation bandwidth of this path alone (bytes/s)."""
+        return self.bandwidth_curve(write_fraction)
+
+    def bottleneck_utilization(self, utilization: Mapping[str, float]) -> float:
+        """Max utilization among this path's resources (0 if unknown)."""
+        return max((utilization.get(r, 0.0) for r in self.resources), default=0.0)

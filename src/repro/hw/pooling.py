@@ -1,0 +1,205 @@
+"""CXL 2.0/3.0 memory pooling: the §7.1 forward-looking architecture.
+
+The paper's experiments stop at CXL 1.1 (one host per device), but §7.1
+anticipates "a disaggregated heterogeneous memory architecture with a
+unified address space" built on CXL 2.0 switching: devices partitioned
+into Multiple Logical Devices (MLDs), up to 16 hosts drawing slices
+from a shared pool.
+
+This module extends the hardware model accordingly:
+
+* a :class:`CxlSwitch` adds a per-hop latency (switch silicon is the
+  main reason pooled CXL is slower than direct-attached CXL) and has a
+  finite aggregate bandwidth;
+* a :class:`MemoryPool` owns devices behind the switch, hands out
+  byte-granular slices to hosts, and resolves per-host access paths
+  whose latency composes the direct-attach CXL surface with the switch
+  hops.
+
+The cost side (why pooling pays: stranded-memory reduction across
+hosts) lives in :mod:`repro.core.pooling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import CapacityError, ConfigurationError
+from .bandwidth import PeakBandwidthCurve
+from .calibration import ANCHORS, PaperAnchors, path_bandwidth_curve, path_latency_model
+from .device import SharedResource
+from .latency import IdleLatency, LoadedLatencyModel
+from .spec import CxlDeviceSpec
+
+__all__ = ["CxlSwitch", "PoolSlice", "MemoryPool"]
+
+#: CXL 2.0 switch port-to-port latency adder (ns); industry figures put
+#: one switch hop at roughly 70-100 ns over direct attach.
+SWITCH_HOP_NS = 85.0
+
+
+@dataclass(frozen=True)
+class CxlSwitch:
+    """A CXL 2.0 switch: hop latency plus an aggregate bandwidth cap."""
+
+    ports: int = 16
+    hop_latency_ns: float = SWITCH_HOP_NS
+    #: Aggregate switching capacity (bytes/s); a 16-port Gen5 switch
+    #: moves on the order of 512 GB/s.
+    aggregate_bandwidth: float = 512e9
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ConfigurationError("a switch needs at least two ports")
+        if self.hop_latency_ns < 0 or self.aggregate_bandwidth <= 0:
+            raise ConfigurationError("switch parameters must be positive")
+
+
+@dataclass(frozen=True)
+class PoolSlice:
+    """One host's allocation out of the pool."""
+
+    host: str
+    device_index: int
+    bytes_allocated: int
+
+
+class MemoryPool:
+    """Devices behind a switch, sliced across up to ``switch.ports - 1`` hosts."""
+
+    def __init__(
+        self,
+        devices: Tuple[CxlDeviceSpec, ...],
+        switch: CxlSwitch = CxlSwitch(),
+        anchors: PaperAnchors = ANCHORS,
+    ) -> None:
+        if not devices:
+            raise ConfigurationError("a pool needs at least one device")
+        self.devices = devices
+        self.switch = switch
+        self.anchors = anchors
+        self._free: List[int] = [d.capacity_bytes for d in devices]
+        self._slices: List[PoolSlice] = []
+        self._hosts: Dict[str, int] = {}
+        self._device_resource = [
+            SharedResource(
+                name=f"pool/dev{i}",
+                curve=path_bandwidth_curve("cxl_local", anchors),
+            )
+            for i in range(len(devices))
+        ]
+        self._switch_resource = SharedResource(
+            name="pool/switch",
+            curve=PeakBandwidthCurve.flat(switch.aggregate_bandwidth),
+        )
+
+    # -- capacity -----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Raw pool capacity."""
+        return sum(d.capacity_bytes for d in self.devices)
+
+    @property
+    def free_bytes(self) -> int:
+        """Unallocated pool capacity."""
+        return sum(self._free)
+
+    @property
+    def hosts(self) -> Tuple[str, ...]:
+        """Hosts currently holding slices."""
+        return tuple(self._hosts)
+
+    def slices_of(self, host: str) -> List[PoolSlice]:
+        """All slices held by one host."""
+        return [s for s in self._slices if s.host == host]
+
+    def bytes_of(self, host: str) -> int:
+        """Total pool bytes held by one host."""
+        return sum(s.bytes_allocated for s in self.slices_of(host))
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate(self, host: str, nbytes: int) -> List[PoolSlice]:
+        """Give ``host`` ``nbytes`` from the pool (first-fit over devices).
+
+        A CXL 2.0 MLD partitions a device among hosts, so one request
+        may span devices.  Raises :class:`~repro.errors.CapacityError`
+        when the pool cannot satisfy the request, and
+        :class:`~repro.errors.ConfigurationError` when the switch has no
+        port left for a new host.
+        """
+        if nbytes <= 0:
+            raise CapacityError("allocation must be positive")
+        if host not in self._hosts and len(self._hosts) >= self.switch.ports - 1:
+            raise ConfigurationError(
+                f"switch has only {self.switch.ports} ports; no port for {host!r}"
+            )
+        if nbytes > self.free_bytes:
+            raise CapacityError(
+                f"pool exhausted: need {nbytes}, free {self.free_bytes}"
+            )
+        remaining = nbytes
+        granted: List[PoolSlice] = []
+        for index, free in enumerate(self._free):
+            if remaining == 0:
+                break
+            take = min(free, remaining)
+            if take > 0:
+                self._free[index] -= take
+                piece = PoolSlice(host, index, take)
+                granted.append(piece)
+                self._slices.append(piece)
+                remaining -= take
+        self._hosts[host] = self._hosts.get(host, 0) + nbytes
+        return granted
+
+    def release(self, host: str) -> int:
+        """Return all of a host's slices to the pool; returns bytes freed."""
+        freed = 0
+        kept: List[PoolSlice] = []
+        for piece in self._slices:
+            if piece.host == host:
+                self._free[piece.device_index] += piece.bytes_allocated
+                freed += piece.bytes_allocated
+            else:
+                kept.append(piece)
+        self._slices = kept
+        self._hosts.pop(host, None)
+        return freed
+
+    # -- the access surface --------------------------------------------------
+
+    def latency_model(self, hops: int = 1) -> LoadedLatencyModel:
+        """Loaded-latency model for pooled access through ``hops`` switches.
+
+        Direct-attach CXL plus ``hops x hop_latency``; the queueing
+        behaviour is the device's own (the switch adds latency, not a
+        new knee, until its aggregate bandwidth saturates — which the
+        shared switch resource captures).
+        """
+        if hops < 1:
+            raise ConfigurationError("pooled access crosses at least one switch")
+        base = path_latency_model("cxl_local", self.anchors)
+        extra = hops * self.switch.hop_latency_ns
+        return LoadedLatencyModel(
+            idle=IdleLatency(
+                base.idle.read_ns + extra, base.idle.write_ns + extra
+            ),
+            queueing=base.queueing,
+        )
+
+    def resources_for(self, piece: PoolSlice) -> Tuple[str, ...]:
+        """The shared-resource chain a slice's traffic crosses."""
+        return (
+            self._switch_resource.name,
+            self._device_resource[piece.device_index].name,
+        )
+
+    def resource_map(self) -> Dict[str, SharedResource]:
+        """All pool resources, for allocator rounds."""
+        out = {self._switch_resource.name: self._switch_resource}
+        for res in self._device_resource:
+            out[res.name] = res
+        return out

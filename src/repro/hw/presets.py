@@ -1,0 +1,112 @@
+"""Testbed presets matching the paper's experimental platform (§2.4).
+
+Two CXL experiment servers: dual Intel Xeon SPR, 1 TB DDR5-4800 (8x64 GB
+per socket), two 1.92 TB SSDs, two A1000 CXL Gen5 x16 cards with 256 GB
+each on socket 0 (512 GB CXL per server).  One baseline server:
+identical but without the CXL cards.  100 Gbps Ethernet between them.
+
+SNC-4 is enabled for the raw-performance (§3) and bandwidth-bound (§5)
+experiments and disabled for the capacity-bound ones (§4), mirroring the
+paper's per-experiment switches.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .calibration import ANCHORS, PaperAnchors
+from .spec import CpuSpec, CxlDeviceSpec, DimmSpec, ServerSpec, SsdSpec
+from .topology import Platform
+
+__all__ = [
+    "sapphire_rapids_cpu",
+    "a1000_card",
+    "paper_cxl_server_spec",
+    "paper_baseline_server_spec",
+    "paper_cxl_platform",
+    "paper_baseline_platform",
+    "paper_testbed",
+]
+
+
+def sapphire_rapids_cpu() -> CpuSpec:
+    """The testbed's 4th-gen Xeon socket: 8 channels of DDR5-4800."""
+    return CpuSpec(
+        name="Intel Xeon 4th Gen (Sapphire Rapids)",
+        cores=48,
+        memory_channels=8,
+        dimm=DimmSpec(capacity_bytes=64 * 1024**3, speed_mt_s=4800),
+        snc_domains=4,
+    )
+
+
+def a1000_card() -> CxlDeviceSpec:
+    """An AsteraLabs A1000 with two DDR5-4800 channels and 256 GB."""
+    return CxlDeviceSpec(
+        name="AsteraLabs A1000",
+        capacity_bytes=256 * 1024**3,
+        pcie_lanes=16,
+        pcie_gts=32.0,
+        dram_channels=2,
+        dimm=DimmSpec(capacity_bytes=128 * 1024**3, speed_mt_s=4800),
+    )
+
+
+def paper_cxl_server_spec(snc_enabled: bool = False, name: str = "cxl-server") -> ServerSpec:
+    """A CXL experiment server: SPR x2 + two A1000 cards on socket 0."""
+    return ServerSpec(
+        name=name,
+        sockets=2,
+        cpu=sapphire_rapids_cpu(),
+        cxl_devices=(a1000_card(), a1000_card()),
+        cxl_socket=0,
+        ssds=(SsdSpec(), SsdSpec()),
+        snc_enabled=snc_enabled,
+    )
+
+
+def paper_baseline_server_spec(
+    snc_enabled: bool = False, name: str = "baseline-server"
+) -> ServerSpec:
+    """The baseline server: identical config, no CXL cards."""
+    return ServerSpec(
+        name=name,
+        sockets=2,
+        cpu=sapphire_rapids_cpu(),
+        cxl_devices=(),
+        cxl_socket=0,
+        ssds=(SsdSpec(), SsdSpec()),
+        snc_enabled=snc_enabled,
+    )
+
+
+def paper_cxl_platform(
+    snc_enabled: bool = False,
+    name: str = "cxl-server",
+    anchors: PaperAnchors = ANCHORS,
+) -> Platform:
+    """Runtime platform for one CXL experiment server."""
+    return Platform(paper_cxl_server_spec(snc_enabled, name), anchors)
+
+
+def paper_baseline_platform(
+    snc_enabled: bool = False,
+    name: str = "baseline-server",
+    anchors: PaperAnchors = ANCHORS,
+) -> Platform:
+    """Runtime platform for the baseline server."""
+    return Platform(paper_baseline_server_spec(snc_enabled, name), anchors)
+
+
+def paper_testbed(
+    snc_enabled: bool = False, anchors: PaperAnchors = ANCHORS
+) -> Tuple[Platform, Platform, Platform]:
+    """The full three-server testbed of Fig. 2(b).
+
+    Returns ``(cxl_server_0, cxl_server_1, baseline_server)``.
+    """
+    return (
+        paper_cxl_platform(snc_enabled, "cxl-server-0", anchors),
+        paper_cxl_platform(snc_enabled, "cxl-server-1", anchors),
+        paper_baseline_platform(snc_enabled, "baseline-server", anchors),
+    )

@@ -1,0 +1,174 @@
+"""Declarative hardware specifications.
+
+These dataclasses describe *what a server is made of* — CPUs, DIMMs, CXL
+expander cards, SSDs, NICs — in catalog terms.  :mod:`repro.hw.topology`
+turns a :class:`ServerSpec` into a runtime :class:`~repro.hw.topology.Platform`
+with shared bandwidth resources and memory paths.
+
+The defaults mirror the paper's testbed (§2.4): dual Sapphire Rapids,
+1 TB DDR5-4800, two AsteraLabs A1000 CXL Gen5 x16 cards with 256 GB each
+on socket 0, two 1.92 TB SSDs, 100 Gbps Ethernet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from ..units import GIB, gb_per_s
+
+__all__ = [
+    "DimmSpec",
+    "CpuSpec",
+    "CxlDeviceSpec",
+    "SsdSpec",
+    "NicSpec",
+    "ServerSpec",
+]
+
+
+@dataclass(frozen=True)
+class DimmSpec:
+    """One DDR5 RDIMM."""
+
+    capacity_bytes: int = 64 * GIB
+    speed_mt_s: int = 4800  # DDR5-4800
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("DIMM capacity must be positive")
+        if self.speed_mt_s <= 0:
+            raise ConfigurationError("DIMM speed must be positive")
+
+    @property
+    def channel_peak_bytes_per_s(self) -> float:
+        """Theoretical peak of a channel running this DIMM (8 B wide)."""
+        return self.speed_mt_s * 1e6 * 8
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """One CPU socket (Sapphire Rapids-like)."""
+
+    name: str = "Intel Xeon SPR"
+    cores: int = 48
+    memory_channels: int = 8
+    dimm: DimmSpec = field(default_factory=DimmSpec)
+    #: SNC partitions the socket into this many sub-NUMA domains when on.
+    snc_domains: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.memory_channels <= 0:
+            raise ConfigurationError("cores and channels must be positive")
+        if self.snc_domains <= 0 or self.memory_channels % self.snc_domains:
+            raise ConfigurationError(
+                "memory channels must divide evenly across SNC domains"
+            )
+
+    @property
+    def channels_per_domain(self) -> int:
+        """DDR channels per SNC domain when SNC is enabled."""
+        return self.memory_channels // self.snc_domains
+
+    @property
+    def socket_memory_bytes(self) -> int:
+        """Total DRAM behind one socket (one DIMM per channel)."""
+        return self.memory_channels * self.dimm.capacity_bytes
+
+
+@dataclass(frozen=True)
+class CxlDeviceSpec:
+    """An ASIC CXL Type-3 memory expander (AsteraLabs A1000-like)."""
+
+    name: str = "AsteraLabs A1000"
+    capacity_bytes: int = 256 * GIB
+    pcie_lanes: int = 16
+    pcie_gts: float = 32.0  # CXL 1.1 over PCIe 5.0: 32 GT/s per lane
+    dram_channels: int = 2
+    dimm: DimmSpec = field(default_factory=DimmSpec)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("CXL capacity must be positive")
+        if self.pcie_lanes not in (4, 8, 16):
+            raise ConfigurationError("CXL 1.1 supports x4/x8/x16 links")
+
+    @property
+    def pcie_raw_bytes_per_s(self) -> float:
+        """Raw unidirectional PCIe bandwidth (before protocol overhead)."""
+        # 32 GT/s with 1b/1b-equivalent FLIT encoding ≈ 4 GB/s per lane.
+        return self.pcie_lanes * self.pcie_gts / 8.0 * 1e9
+
+
+@dataclass(frozen=True)
+class SsdSpec:
+    """An NVMe SSD (1.92 TB datacenter drive, as in the testbed)."""
+
+    capacity_bytes: int = int(1.92e12)
+    read_latency_ns: float = 80_000.0  # 80 us typical NVMe read
+    write_latency_ns: float = 20_000.0  # buffered write
+    read_bandwidth_bytes_per_s: float = gb_per_s(3.2)
+    write_bandwidth_bytes_per_s: float = gb_per_s(2.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("SSD capacity must be positive")
+        if min(self.read_latency_ns, self.write_latency_ns) <= 0:
+            raise ConfigurationError("SSD latencies must be positive")
+        if min(self.read_bandwidth_bytes_per_s, self.write_bandwidth_bytes_per_s) <= 0:
+            raise ConfigurationError("SSD bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """The server NIC (testbed: 100 Gbps Ethernet)."""
+
+    bandwidth_bits_per_s: float = 100e9
+    base_latency_ns: float = 10_000.0  # one-way small-message latency
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Usable byte bandwidth of the link."""
+        return self.bandwidth_bits_per_s / 8.0
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A whole server: sockets, CXL cards, SSDs, NIC."""
+
+    name: str = "cxl-server"
+    sockets: int = 2
+    cpu: CpuSpec = field(default_factory=CpuSpec)
+    #: CXL cards per server; all attach to socket 0 as in the testbed.
+    cxl_devices: Tuple[CxlDeviceSpec, ...] = ()
+    cxl_socket: int = 0
+    ssds: Tuple[SsdSpec, ...] = (SsdSpec(), SsdSpec())
+    nic: NicSpec = field(default_factory=NicSpec)
+    snc_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ConfigurationError("a server needs at least one socket")
+        if not 0 <= self.cxl_socket < self.sockets:
+            raise ConfigurationError("cxl_socket out of range")
+
+    @property
+    def total_mmem_bytes(self) -> int:
+        """Total main-memory DRAM across all sockets."""
+        return self.sockets * self.cpu.socket_memory_bytes
+
+    @property
+    def total_cxl_bytes(self) -> int:
+        """Total CXL-expander memory."""
+        return sum(d.capacity_bytes for d in self.cxl_devices)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """MMEM + CXL capacity."""
+        return self.total_mmem_bytes + self.total_cxl_bytes
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores across sockets."""
+        return self.sockets * self.cpu.cores

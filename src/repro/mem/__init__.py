@@ -1,0 +1,47 @@
+"""OS memory management: pages, mempolicies, numactl helpers, tiering daemons.
+
+This layer reproduces the software side of the paper's §2.3: the N:M
+tiered interleave policy, NUMA-balancing promotion, hot-page selection
+with the promotion rate limit, and a TPP-style alternative — all
+operating on page-granular address spaces over the hardware model.
+"""
+
+from .address_space import AddressSpace, MemoryInventory
+from .page import Page
+from .qos import BandwidthRegulator, LatencyGuard
+from .policy import (
+    BindPolicy,
+    InterleavePolicy,
+    MemPolicy,
+    PreferredPolicy,
+    WeightedInterleavePolicy,
+)
+from .tiering import (
+    HotPageSelectionDaemon,
+    MigrationRound,
+    NumaBalancingDaemon,
+    TieringDaemon,
+    TieringStats,
+    TppDaemon,
+)
+from . import numactl
+
+__all__ = [
+    "AddressSpace",
+    "MemoryInventory",
+    "Page",
+    "BandwidthRegulator",
+    "LatencyGuard",
+    "BindPolicy",
+    "InterleavePolicy",
+    "MemPolicy",
+    "PreferredPolicy",
+    "WeightedInterleavePolicy",
+    "HotPageSelectionDaemon",
+    "MigrationRound",
+    "NumaBalancingDaemon",
+    "TieringDaemon",
+    "TieringStats",
+    "TppDaemon",
+    "numactl",
+]

@@ -1,0 +1,100 @@
+"""numactl-style helpers: the paper's placement knobs as one-liners.
+
+The experiments in §4/§5 are configured with ``numactl`` and the
+``vm.numa_tier_interleave`` sysctl.  These helpers build the equivalent
+:class:`~repro.mem.policy.MemPolicy` objects against a platform, so an
+experiment reads like the paper's methodology section::
+
+    policy = numactl.membind(platform, cxl_only=True)          # §4.3
+    policy = numactl.tier_interleave(platform, n=3, m=1)       # "3:1"
+    policy = numactl.hot_promote_initial(platform)              # §4.1
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import PolicyError
+from ..hw.topology import Platform
+from .policy import (
+    BindPolicy,
+    InterleavePolicy,
+    MemPolicy,
+    WeightedInterleavePolicy,
+)
+
+__all__ = [
+    "membind",
+    "interleave",
+    "tier_interleave",
+    "hot_promote_initial",
+]
+
+
+def _dram_ids(platform: Platform, socket: Optional[int]) -> Sequence[int]:
+    nodes = platform.dram_nodes(socket)
+    return [n.node_id for n in nodes]
+
+
+def _cxl_ids(platform: Platform, socket: Optional[int]) -> Sequence[int]:
+    nodes = platform.cxl_nodes(socket)
+    return [n.node_id for n in nodes]
+
+
+def membind(
+    platform: Platform,
+    cxl_only: bool = False,
+    socket: Optional[int] = None,
+) -> MemPolicy:
+    """``numactl --membind``: all pages on MMEM nodes, or all on CXL.
+
+    ``cxl_only=True`` reproduces the §4.3 "run entirely on CXL" setup.
+    """
+    ids = _cxl_ids(platform, socket) if cxl_only else _dram_ids(platform, socket)
+    if not ids:
+        raise PolicyError(
+            "no CXL nodes on this platform" if cxl_only else "no DRAM nodes"
+        )
+    return BindPolicy(ids)
+
+
+def interleave(platform: Platform, socket: Optional[int] = None) -> MemPolicy:
+    """``numactl --interleave`` 1:1 across MMEM and CXL nodes."""
+    ids = list(_dram_ids(platform, socket)) + list(_cxl_ids(platform, socket))
+    if not ids:
+        raise PolicyError("platform has no memory nodes")
+    return InterleavePolicy(ids)
+
+
+def tier_interleave(
+    platform: Platform,
+    n: int,
+    m: int,
+    socket: Optional[int] = None,
+) -> MemPolicy:
+    """The N:M tiered interleave of the kernel patch (§2.3).
+
+    ``n`` parts of traffic to top-tier (MMEM) nodes, ``m`` parts to
+    lower-tier (CXL) nodes; the paper's Table 1 configurations are
+    ``(3, 1)``, ``(1, 1)`` and ``(1, 3)``.
+    """
+    dram = _dram_ids(platform, socket)
+    cxl = _cxl_ids(platform, socket)
+    if not cxl:
+        raise PolicyError("tier interleave requires CXL nodes")
+    return WeightedInterleavePolicy.from_ratio(dram, cxl, n, m)
+
+
+def hot_promote_initial(
+    platform: Platform,
+    socket: Optional[int] = None,
+) -> MemPolicy:
+    """Initial placement for the Hot-Promote configuration (§4.1.1).
+
+    The paper distributes half the dataset on CXL (via numactl) and caps
+    main memory at half the dataset size, then lets the hot-page daemon
+    promote.  The 1:1 interleave reproduces that even initial split; the
+    capacity cap is applied on the
+    :class:`~repro.mem.address_space.MemoryInventory`.
+    """
+    return interleave(platform, socket)

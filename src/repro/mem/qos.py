@@ -1,0 +1,126 @@
+"""Memory-bandwidth QoS: per-flow throttling against the latency knee.
+
+The paper leans on the bandwidth-contention literature (MT² [31]) for
+its §3 analysis and closes §5.3 by demanding bandwidth-*aware* memory
+management.  This module supplies the enforcement half of that demand:
+
+* :class:`BandwidthRegulator` — static per-source rate caps (MT²'s
+  per-tenant throttling), applied by clamping demands before they reach
+  the max-min allocator;
+* :class:`LatencyGuard` — a closed-loop controller that keeps a chosen
+  resource *below its latency knee* by multiplicatively throttling
+  designated best-effort flows (AIMD), leaving latency-sensitive flows
+  untouched.  This is exactly the §5.3 remedy for "promotion pushing a
+  70 %-utilized MMEM tier past the knee": make the migrator a
+  best-effort flow and guard the tier at its knee utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from ..errors import ConfigurationError
+from ..sim.traffic import AllocationResult, TrafficDemand
+
+__all__ = ["BandwidthRegulator", "LatencyGuard"]
+
+
+class BandwidthRegulator:
+    """Static per-source bandwidth caps."""
+
+    def __init__(self, limits: Optional[Dict[Hashable, float]] = None) -> None:
+        self._limits: Dict[Hashable, float] = {}
+        for source, limit in (limits or {}).items():
+            self.set_limit(source, limit)
+
+    def set_limit(self, source: Hashable, bytes_per_s: float) -> None:
+        """Cap one source's offered rate."""
+        if bytes_per_s <= 0:
+            raise ConfigurationError("limit must be positive")
+        self._limits[source] = float(bytes_per_s)
+
+    def clear_limit(self, source: Hashable) -> None:
+        """Remove a source's cap (no-op if absent)."""
+        self._limits.pop(source, None)
+
+    def limit_of(self, source: Hashable) -> Optional[float]:
+        """The cap for a source, or None when unthrottled."""
+        return self._limits.get(source)
+
+    def shape(self, demands: Iterable[TrafficDemand]) -> List[TrafficDemand]:
+        """Return demands with capped sources clamped to their limits."""
+        shaped: List[TrafficDemand] = []
+        for demand in demands:
+            limit = self._limits.get(demand.source)
+            if limit is not None and demand.rate > limit:
+                shaped.append(
+                    TrafficDemand(
+                        source=demand.source,
+                        resources=demand.resources,
+                        rate=limit,
+                        write_fraction=demand.write_fraction,
+                    )
+                )
+            else:
+                shaped.append(demand)
+        return shaped
+
+
+class LatencyGuard:
+    """AIMD controller keeping a resource below its latency knee.
+
+    Each round, call :meth:`shape` before allocating and :meth:`observe`
+    with the allocation result.  Over the target utilization, every
+    best-effort flow's cap is cut multiplicatively; under it, caps grow
+    additively back toward ``max_rate``.
+    """
+
+    def __init__(
+        self,
+        resource: Hashable,
+        best_effort_sources: Iterable[Hashable],
+        target_utilization: float = 0.75,
+        max_rate: float = 64e9,
+        decrease_factor: float = 0.7,
+        increase_step: float = 1e9,
+    ) -> None:
+        if not 0.0 < target_utilization < 1.0:
+            raise ConfigurationError("target utilization must be in (0, 1)")
+        if not 0.0 < decrease_factor < 1.0:
+            raise ConfigurationError("decrease_factor must be in (0, 1)")
+        if max_rate <= 0 or increase_step <= 0:
+            raise ConfigurationError("rates must be positive")
+        sources = list(best_effort_sources)
+        if not sources:
+            raise ConfigurationError("guard needs at least one best-effort source")
+        self.resource = resource
+        self.target = target_utilization
+        self.max_rate = max_rate
+        self.decrease_factor = decrease_factor
+        self.increase_step = increase_step
+        self.regulator = BandwidthRegulator(
+            {source: max_rate for source in sources}
+        )
+        self._sources = sources
+        self.throttle_events = 0
+
+    def shape(self, demands: Iterable[TrafficDemand]) -> List[TrafficDemand]:
+        """Clamp the best-effort flows to their current caps."""
+        return self.regulator.shape(demands)
+
+    def observe(self, result: AllocationResult) -> None:
+        """Adjust caps from the round's utilization (AIMD)."""
+        utilization = result.utilization.get(self.resource, 0.0)
+        for source in self._sources:
+            current = self.regulator.limit_of(source) or self.max_rate
+            if utilization > self.target:
+                new = max(1e6, current * self.decrease_factor)
+                self.throttle_events += 1
+            else:
+                new = min(self.max_rate, current + self.increase_step)
+            self.regulator.set_limit(source, new)
+
+    def cap_of(self, source: Hashable) -> float:
+        """Current cap of a best-effort source."""
+        limit = self.regulator.limit_of(source)
+        return limit if limit is not None else self.max_rate

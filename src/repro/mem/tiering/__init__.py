@@ -1,0 +1,15 @@
+"""Kernel tiering daemons: NUMA balancing, hot-page selection (RPRL), TPP."""
+
+from .base import MigrationRound, TieringDaemon, TieringStats
+from .hot_page import HotPageSelectionDaemon
+from .numa_balancing import NumaBalancingDaemon
+from .tpp import TppDaemon
+
+__all__ = [
+    "MigrationRound",
+    "TieringDaemon",
+    "TieringStats",
+    "HotPageSelectionDaemon",
+    "NumaBalancingDaemon",
+    "TppDaemon",
+]

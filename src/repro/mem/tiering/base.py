@@ -1,0 +1,179 @@
+"""Tiering daemon framework: scan, select, migrate, account.
+
+A tiering daemon looks at page access state and moves pages between the
+DRAM tier and the CXL tier.  The three concrete daemons mirror the
+mechanisms the paper discusses in §2.3:
+
+* :class:`~repro.mem.tiering.numa_balancing.NumaBalancingDaemon` — the
+  latency-aware NUMA-balancing patch (MRU promotion from hint faults);
+* :class:`~repro.mem.tiering.hot_page.HotPageSelectionDaemon` — the
+  hot-page-selection patch with Promotion Rate Limit and the automatic
+  threshold adjustment (whose misbehaviour under low-locality workloads
+  is the root cause of the Spark slowdown in §4.2.2);
+* :class:`~repro.mem.tiering.tpp.TppDaemon` — a TPP-style
+  demotion-first policy with second-touch promotion.
+
+Daemons are driven by ``tick(now_ns)`` from the application simulation
+loop; each tick returns a :class:`MigrationRound` whose byte counts the
+application charges as migration traffic (migrations copy pages, so they
+consume bandwidth on *both* tiers and stall the accessing thread on the
+page being moved).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ...errors import MigrationError
+from ..address_space import AddressSpace
+from ..page import Page
+
+__all__ = ["MigrationRound", "TieringStats", "TieringDaemon"]
+
+
+@dataclass
+class MigrationRound:
+    """What one daemon tick did."""
+
+    promoted: List[Page] = field(default_factory=list)
+    demoted: List[Page] = field(default_factory=list)
+    #: Promotions skipped because the rate limit or capacity blocked them.
+    blocked: int = 0
+
+    @property
+    def promoted_bytes(self) -> int:
+        """Bytes copied CXL → DRAM this round."""
+        return sum(p.size for p in self.promoted)
+
+    @property
+    def demoted_bytes(self) -> int:
+        """Bytes copied DRAM → CXL this round."""
+        return sum(p.size for p in self.demoted)
+
+    @property
+    def moved_bytes(self) -> int:
+        """Total bytes copied in either direction."""
+        return self.promoted_bytes + self.demoted_bytes
+
+
+@dataclass
+class TieringStats:
+    """Cumulative counters across the daemon's lifetime."""
+
+    promoted_pages: int = 0
+    demoted_pages: int = 0
+    promoted_bytes: int = 0
+    demoted_bytes: int = 0
+    blocked_promotions: int = 0
+    ticks: int = 0
+
+    def absorb(self, round_: MigrationRound) -> None:
+        """Fold one round into the totals."""
+        self.promoted_pages += len(round_.promoted)
+        self.demoted_pages += len(round_.demoted)
+        self.promoted_bytes += round_.promoted_bytes
+        self.demoted_bytes += round_.demoted_bytes
+        self.blocked_promotions += round_.blocked
+        self.ticks += 1
+
+    @property
+    def moved_bytes(self) -> int:
+        """Total bytes migrated in either direction."""
+        return self.promoted_bytes + self.demoted_bytes
+
+
+class TieringDaemon(abc.ABC):
+    """Base class: holds tiers, watermark logic, and migration helpers."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        dram_nodes: Sequence[int],
+        cxl_nodes: Sequence[int],
+        scan_period_ns: float = 100e6,  # kernel-scale 100 ms scan period
+        dram_high_watermark: float = 0.97,
+    ) -> None:
+        if not dram_nodes or not cxl_nodes:
+            raise MigrationError("tiering needs at least one node in each tier")
+        if not 0.0 < dram_high_watermark <= 1.0:
+            raise MigrationError("watermark must be in (0, 1]")
+        self.space = space
+        self.dram_nodes = tuple(dram_nodes)
+        self.cxl_nodes = tuple(cxl_nodes)
+        self.scan_period_ns = scan_period_ns
+        self.dram_high_watermark = dram_high_watermark
+        self.stats = TieringStats()
+        self._last_tick_ns: Optional[float] = None
+
+    # -- helpers for subclasses ------------------------------------------
+
+    def _dram_target(self) -> Optional[int]:
+        """DRAM node with the most free space that can take a page."""
+        free = self.space.inventory.free_bytes()
+        candidates = [n for n in self.dram_nodes if free[n] >= self.space.page_size]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda n: free[n])
+
+    def _cxl_target(self) -> Optional[int]:
+        """CXL node with the most free space that can take a page."""
+        free = self.space.inventory.free_bytes()
+        candidates = [n for n in self.cxl_nodes if free[n] >= self.space.page_size]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda n: free[n])
+
+    def _dram_pressure(self) -> float:
+        """Highest utilization among the DRAM-tier nodes."""
+        return max(self.space.inventory.utilization(n) for n in self.dram_nodes)
+
+    def _promote(self, page: Page, round_: MigrationRound) -> bool:
+        """Try to move a CXL page up; on success record it in the round."""
+        target = self._dram_target()
+        if target is None:
+            round_.blocked += 1
+            return False
+        self.space.move_page(page, target)
+        round_.promoted.append(page)
+        return True
+
+    def _demote(self, page: Page, round_: MigrationRound) -> bool:
+        """Try to move a DRAM page down; on success record it."""
+        target = self._cxl_target()
+        if target is None:
+            return False
+        self.space.move_page(page, target)
+        round_.demoted.append(page)
+        return True
+
+    def _cxl_pages(self) -> List[Page]:
+        return [p for p in self.space.pages if p.node_id in self.cxl_nodes]
+
+    def _dram_pages(self) -> List[Page]:
+        return [p for p in self.space.pages if p.node_id in self.dram_nodes]
+
+    # -- the tick ---------------------------------------------------------
+
+    def tick(self, now_ns: float) -> MigrationRound:
+        """Run one scan if the scan period has elapsed.
+
+        Returns an empty round when called again inside the same period,
+        so callers can tick every app epoch without over-scanning.
+        """
+        if self._last_tick_ns is not None and now_ns - self._last_tick_ns < self.scan_period_ns:
+            return MigrationRound()
+        elapsed = (
+            self.scan_period_ns
+            if self._last_tick_ns is None
+            else now_ns - self._last_tick_ns
+        )
+        self._last_tick_ns = now_ns
+        round_ = self._scan(now_ns, elapsed)
+        self.stats.absorb(round_)
+        return round_
+
+    @abc.abstractmethod
+    def _scan(self, now_ns: float, elapsed_ns: float) -> MigrationRound:
+        """Select and execute this policy's migrations for one scan."""

@@ -1,0 +1,97 @@
+"""A TPP-style transparent page placement daemon.
+
+Models the Transparent Page Placement prototype (Maruf et al.,
+ASPLOS '23) the paper mentions in §2.3: Meta's demotion-first design
+under consideration for the mainline kernel.  Its two distinguishing
+mechanisms versus the other daemons:
+
+* **Proactive demotion** keeps a DRAM headroom *below* the allocation
+  watermark so new allocations and promotions never stall on reclaim:
+  the coldest DRAM pages are demoted whenever free DRAM drops under the
+  headroom target, not only when allocation fails.
+* **Second-touch promotion**: a CXL page is promoted only on its second
+  access within the active window (heat ≥ 2), filtering out streaming
+  single-touch accesses that would pollute DRAM.
+
+The paper reports "unexplained performance degradation" with TPP under
+memory-bandwidth-intensive applications; in this model that emerges
+naturally — TPP's unthrottled promotions consume tier bandwidth exactly
+when the application needs it most (there is no RPRL here).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..address_space import AddressSpace
+from .base import MigrationRound, TieringDaemon
+
+__all__ = ["TppDaemon"]
+
+
+class TppDaemon(TieringDaemon):
+    """Demotion-first tiering with second-touch promotion."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        dram_nodes: Sequence[int],
+        cxl_nodes: Sequence[int],
+        scan_period_ns: float = 100e6,
+        promotion_heat: float = 2.0,  # second touch within the window
+        dram_headroom: float = 0.10,  # keep 10 % of DRAM free
+        scan_batch: int = 1024,
+    ) -> None:
+        if promotion_heat <= 0:
+            raise ValueError("promotion_heat must be positive")
+        if not 0.0 <= dram_headroom < 1.0:
+            raise ValueError("dram_headroom must be in [0, 1)")
+        if scan_batch <= 0:
+            raise ValueError("scan_batch must be positive")
+        super().__init__(
+            space,
+            dram_nodes,
+            cxl_nodes,
+            scan_period_ns,
+            dram_high_watermark=1.0 - dram_headroom,
+        )
+        self.promotion_heat = promotion_heat
+        self.dram_headroom = dram_headroom
+        self.scan_batch = scan_batch
+
+    def _scan(self, now_ns: float, elapsed_ns: float) -> MigrationRound:
+        round_ = MigrationRound()
+
+        # Demotion-first: restore headroom before considering promotions.
+        self._restore_headroom(now_ns, round_)
+
+        # Second-touch promotion, hottest first, unthrottled.
+        candidates = [
+            p for p in self._cxl_pages() if p.heat_at(now_ns) >= self.promotion_heat
+        ]
+        candidates.sort(key=lambda p: p.heat_at(now_ns), reverse=True)
+        for page in candidates[: self.scan_batch]:
+            if self._dram_pressure() >= self.dram_high_watermark:
+                self._restore_headroom(now_ns, round_)
+            if not self._promote(page, round_):
+                break
+        return round_
+
+    def _restore_headroom(self, now_ns: float, round_: MigrationRound) -> None:
+        """Demote coldest DRAM pages until the headroom target is met."""
+        inventory = self.space.inventory
+        page_size = self.space.page_size
+        # Work per DRAM node: each must keep `headroom` of itself free.
+        for node in self.dram_nodes:
+            target_free = self.dram_headroom * inventory.capacity(node)
+            deficit = target_free - (
+                inventory.capacity(node) - inventory.used(node)
+            )
+            if deficit <= 0:
+                continue
+            pages = [p for p in self.space.pages if p.node_id == node]
+            pages.sort(key=lambda p: p.heat_at(now_ns))
+            to_demote = min(len(pages), int(deficit // page_size) + 1)
+            for page in pages[:to_demote]:
+                if not self._demote(page, round_):
+                    return  # CXL tier full; stop trying

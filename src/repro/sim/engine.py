@@ -1,0 +1,282 @@
+"""A small deterministic discrete-event simulation engine.
+
+The engine follows the classic event-heap + coroutine-process design
+(SimPy-style, re-implemented here because the environment is offline and
+the simulator only needs a small, fully deterministic core):
+
+* :class:`Event` — a one-shot occurrence with a value and callbacks.
+* :class:`Simulator` — owns the clock and the event heap; ``run()`` pops
+  events in ``(time, sequence)`` order so simultaneous events fire in
+  schedule order, making runs bit-for-bit reproducible.
+* :class:`Process` — wraps a generator that ``yield``\\ s events; the
+  process suspends until the yielded event fires and receives the event's
+  value at resume.  A process is itself an event that fires when the
+  generator returns, so processes can wait on each other.
+
+Time is in nanoseconds (see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "Timeout", "Process", "Simulator", "AllOf", "AnyOf"]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) makes it
+    *triggered*, scheduling its callbacks to run at the current simulation
+    time.  Waiting processes are resumed with the event's value.
+    """
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.value: Any = None
+        self.failed = False
+        self._triggered = False
+        self._dispatched = False
+        self.callbacks: List[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been succeeded or failed."""
+        return self._triggered
+
+    @property
+    def dispatched(self) -> bool:
+        """True once the event's callbacks have run.
+
+        After dispatch, newly appended callbacks would never fire;
+        waiters must check this flag and resume immediately instead.
+        """
+        return self._dispatched
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks now."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiting processes see the exception."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self.failed = True
+        self.value = exc
+        self.sim._schedule_event(self)
+        return self
+
+    def _dispatch(self) -> None:
+        self._dispatched = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._triggered = True  # scheduled at construction, cannot re-trigger
+        self.value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A coroutine driven by the events it yields.
+
+    The wrapped generator yields :class:`Event` objects.  When a yielded
+    event fires, the generator resumes with ``event.value`` (or the
+    exception is thrown into it if the event failed).  The process itself
+    is an event that succeeds with the generator's return value.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
+        super().__init__(sim)
+        self._gen = gen
+        # Kick off at the current time via an immediate timeout so that
+        # process creation order does not bypass the event queue.
+        start = Timeout(sim, 0.0)
+        start.callbacks.append(self._resume)
+
+    def _resume(self, trigger: Event) -> None:
+        try:
+            if trigger.failed:
+                target = self._gen.throw(trigger.value)
+            else:
+                target = self._gen.send(trigger.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # propagate crash to waiters
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        if target.dispatched:
+            # Already-dispatched event: its callback list is dead, so
+            # resume via an immediate timeout carrying the same value.
+            imm = Timeout(self.sim, 0.0, value=target.value)
+            imm.callbacks.append(self._resume)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class AllOf(Event):
+    """An event that fires when all of its child events have fired."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim)
+        self._pending = 0
+        self._values: List[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for i, ev in enumerate(events):
+            if ev.dispatched:
+                self._values[i] = ev.value
+            else:
+                self._pending += 1
+                ev.callbacks.append(self._make_cb(i))
+        if self._pending == 0:
+            self.succeed(self._values)
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def _cb(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev.failed:
+                self.fail(ev.value)
+                return
+            self._values[index] = ev.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(self._values)
+
+        return _cb
+
+
+class AnyOf(Event):
+    """An event that fires when the first of its child events fires."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:
+        super().__init__(sim)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for ev in events:
+            ev.callbacks.append(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.failed:
+            self.fail(ev.value)
+        else:
+            self.succeed(ev.value)
+
+
+class Simulator:
+    """The event loop: a clock plus a time-ordered event heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_at(self, time: float, event: Event) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past ({time} < {self.now})"
+            )
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+
+    def _schedule_event(self, event: Event) -> None:
+        self._schedule_at(self.now, event)
+
+    # -- public factory helpers ------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator; returns its completion event."""
+        return Process(self, gen)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that fires when the first event in ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance to and dispatch the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        time, _, event = heapq.heappop(self._heap)
+        self.now = time
+        event._dispatch()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``.
+
+        When ``until`` is given, the clock is left exactly at ``until``
+        even if no event lands on it, so back-to-back ``run(until=...)``
+        calls tile time without gaps.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(f"run until {until} is in the past ({self.now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` fires; returns its value.
+
+        Raises :class:`SimulationError` if the heap drains (or the
+        optional time ``limit`` passes) first, and re-raises the event's
+        exception if it failed.
+        """
+        while not event.triggered:
+            if not self._heap:
+                raise SimulationError("event queue drained before event fired")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError("time limit reached before event fired")
+            self.step()
+        if event.failed:
+            raise event.value
+        return event.value

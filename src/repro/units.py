@@ -1,0 +1,208 @@
+"""Units and quantity helpers used throughout the simulator.
+
+The simulator's canonical units are:
+
+* **time** — nanoseconds (``float``).  All latencies and simulation clocks
+  are in ns; helpers convert to/from us, ms and s.
+* **size** — bytes (``int``).  Helpers for KiB/MiB/GiB/TiB and the decimal
+  KB/MB/GB/TB used by DRAM vendors.
+* **bandwidth** — bytes per second (``float``).  The paper reports GB/s
+  (decimal, as memory vendors do); :func:`gb_per_s` converts.
+
+Keeping a single canonical unit per dimension avoids an entire class of
+unit-mismatch bugs; the helpers exist so call sites read like the paper
+("``gb_per_s(67)``", "``GiB(256)``") rather than as raw powers of two.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "PAGE_SIZE",
+    "CACHELINE_SIZE",
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "kb",
+    "mb",
+    "gb",
+    "tb",
+    "gb_per_s",
+    "to_gb_per_s",
+    "us",
+    "ms",
+    "seconds",
+    "ns_to_us",
+    "ns_to_ms",
+    "ns_to_s",
+    "bytes_per_ns",
+    "format_bytes",
+    "format_bandwidth",
+    "format_time_ns",
+]
+
+# Binary size multipliers (IEC).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+# Decimal size multipliers (SI, used by DRAM/bandwidth vendor specs).
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+TB = 1000**4
+
+#: Default OS page size (4 KiB), matching x86-64 with THP disabled, which is
+#: how the paper configures its KeyDB experiments (§4.1.1).
+PAGE_SIZE = 4 * KIB
+
+#: CPU cacheline, the unit of a single memory transaction (64 B, matching
+#: the paper's MLC configuration in §3.1).
+CACHELINE_SIZE = 64
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+
+def KiB(n: float) -> int:
+    """Return ``n`` kibibytes in bytes."""
+    return int(n * KIB)
+
+
+def MiB(n: float) -> int:
+    """Return ``n`` mebibytes in bytes."""
+    return int(n * MIB)
+
+
+def GiB(n: float) -> int:
+    """Return ``n`` gibibytes in bytes."""
+    return int(n * GIB)
+
+
+def TiB(n: float) -> int:
+    """Return ``n`` tebibytes in bytes."""
+    return int(n * TIB)
+
+
+def kb(n: float) -> int:
+    """Return ``n`` decimal kilobytes in bytes."""
+    return int(n * KB)
+
+
+def mb(n: float) -> int:
+    """Return ``n`` decimal megabytes in bytes."""
+    return int(n * MB)
+
+
+def gb(n: float) -> int:
+    """Return ``n`` decimal gigabytes in bytes."""
+    return int(n * GB)
+
+
+def tb(n: float) -> int:
+    """Return ``n`` decimal terabytes in bytes."""
+    return int(n * TB)
+
+
+def gb_per_s(n: float) -> float:
+    """Convert a bandwidth from GB/s (decimal) to bytes/s."""
+    return n * GB
+
+
+def to_gb_per_s(bytes_per_second: float) -> float:
+    """Convert a bandwidth from bytes/s back to GB/s (decimal)."""
+    return bytes_per_second / GB
+
+
+def us(n: float) -> float:
+    """Return ``n`` microseconds in nanoseconds."""
+    return n * NS_PER_US
+
+
+def ms(n: float) -> float:
+    """Return ``n`` milliseconds in nanoseconds."""
+    return n * NS_PER_MS
+
+
+def seconds(n: float) -> float:
+    """Return ``n`` seconds in nanoseconds."""
+    return n * NS_PER_S
+
+
+def ns_to_us(t_ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return t_ns / NS_PER_US
+
+
+def ns_to_ms(t_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return t_ns / NS_PER_MS
+
+
+def ns_to_s(t_ns: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return t_ns / NS_PER_S
+
+
+def bytes_per_ns(bandwidth_bytes_per_s: float) -> float:
+    """Convert a bandwidth in bytes/s to bytes per nanosecond."""
+    return bandwidth_bytes_per_s / NS_PER_S
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a human-friendly binary suffix.
+
+    >>> format_bytes(2 * 1024**3)
+    '2.00 GiB'
+    """
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    n = abs(n)
+    for suffix, scale in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n >= scale:
+            return f"{sign}{n / scale:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Render a bandwidth in the paper's GB/s convention.
+
+    >>> format_bandwidth(67e9)
+    '67.00 GB/s'
+    """
+    return f"{to_gb_per_s(bytes_per_second):.2f} GB/s"
+
+
+def format_time_ns(t_ns: float) -> str:
+    """Render a duration with an auto-selected unit.
+
+    >>> format_time_ns(250.42)
+    '250.4 ns'
+    >>> format_time_ns(2.5e9)
+    '2.500 s'
+    """
+    if not math.isfinite(t_ns):
+        return str(t_ns)
+    a = abs(t_ns)
+    if a >= NS_PER_S:
+        return f"{t_ns / NS_PER_S:.3f} s"
+    if a >= NS_PER_MS:
+        return f"{t_ns / NS_PER_MS:.3f} ms"
+    if a >= NS_PER_US:
+        return f"{t_ns / NS_PER_US:.3f} us"
+    return f"{t_ns:.1f} ns"

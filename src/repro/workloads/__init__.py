@@ -1,0 +1,50 @@
+"""Workload generators: MLC probe, YCSB, TPC-H profiles, LLM traces."""
+
+from .distributions import (
+    KeyChooser,
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+from .llm_trace import ChatRequest, chat_trace
+from .mlc import PAPER_MIXES, MlcCurve, MlcPoint, MlcProbe
+from .tpch import PAPER_QUERY_NAMES, QueryProfile, QueryStage, paper_queries
+from .trace import (
+    PageTrace,
+    graph_walk_trace,
+    sequential_trace,
+    strided_trace,
+    uniform_trace,
+    zipfian_trace,
+)
+from .ycsb import WORKLOADS, Operation, OpType, YcsbGenerator, YcsbSpec
+
+__all__ = [
+    "KeyChooser",
+    "LatestChooser",
+    "ScrambledZipfianChooser",
+    "UniformChooser",
+    "ZipfianChooser",
+    "ChatRequest",
+    "chat_trace",
+    "PAPER_MIXES",
+    "MlcCurve",
+    "MlcPoint",
+    "MlcProbe",
+    "PAPER_QUERY_NAMES",
+    "QueryProfile",
+    "QueryStage",
+    "paper_queries",
+    "PageTrace",
+    "graph_walk_trace",
+    "sequential_trace",
+    "strided_trace",
+    "uniform_trace",
+    "zipfian_trace",
+    "WORKLOADS",
+    "Operation",
+    "OpType",
+    "YcsbGenerator",
+    "YcsbSpec",
+]

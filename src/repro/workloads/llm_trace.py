@@ -1,0 +1,64 @@
+"""Chat request traces for the LLM inference experiments (§5.1).
+
+The paper drives its CPU inference backends with "a wide range of
+chat-oriented questions" derived from the LightLLM framework, a 2048-
+byte prompt context, and a single-threaded closed-loop client per
+backend.  :func:`chat_trace` generates an equivalent stream of
+:class:`ChatRequest` objects: prompt lengths log-normally distributed
+around the configured context, output lengths geometric-ish as chat
+responses are (many short answers, a long tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["ChatRequest", "chat_trace"]
+
+#: Average bytes per token for LLaMA-family tokenizers on English chat.
+BYTES_PER_TOKEN = 4.0
+
+
+@dataclass(frozen=True)
+class ChatRequest:
+    """One inference request."""
+
+    prompt_tokens: int
+    max_new_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens <= 0 or self.max_new_tokens <= 0:
+            raise WorkloadError("token counts must be positive")
+
+    @property
+    def total_tokens(self) -> int:
+        """Sequence length at completion (prompt + generated)."""
+        return self.prompt_tokens + self.max_new_tokens
+
+
+def chat_trace(
+    rng: np.random.Generator,
+    count: int,
+    prompt_context_bytes: int = 2048,
+    mean_new_tokens: int = 256,
+) -> Iterator[ChatRequest]:
+    """Yield ``count`` chat requests.
+
+    ``prompt_context_bytes`` matches the paper's fixed 2048-byte prompt
+    context ("to guarantee a minimum inference response size"); actual
+    prompts vary log-normally around it.
+    """
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    if prompt_context_bytes <= 0 or mean_new_tokens <= 0:
+        raise WorkloadError("sizes must be positive")
+    mean_prompt_tokens = max(1.0, prompt_context_bytes / BYTES_PER_TOKEN)
+    for _ in range(count):
+        prompt = int(max(1, rng.lognormal(np.log(mean_prompt_tokens), 0.3)))
+        new = int(max(8, rng.exponential(mean_new_tokens)))
+        yield ChatRequest(prompt_tokens=prompt, max_new_tokens=new)

@@ -1,0 +1,64 @@
+"""Tests for the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import (
+    curve_to_rows,
+    fig3_to_csv,
+    fig10_to_json,
+    rows_to_csv,
+    write_text,
+)
+from repro.analysis.figures import fig3_loaded_latency, fig10_llm
+
+
+class TestCsv:
+    def test_rows_to_csv_roundtrip(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}]
+        text = rows_to_csv(rows)
+        back = list(csv.DictReader(io.StringIO(text)))
+        assert len(back) == 2
+        assert back[0]["a"] == "1"
+
+    def test_empty_rows(self):
+        assert rows_to_csv([]) == ""
+
+    def test_fig3_to_csv(self):
+        panels = fig3_loaded_latency(panels=("mmem",), load_points=4)
+        text = fig3_to_csv(panels)
+        back = list(csv.DictReader(io.StringIO(text)))
+        assert len(back) == 4 * 4  # 4 mixes x 4 load points
+        assert {r["panel"] for r in back} == {"mmem"}
+        assert {r["mix"] for r in back} == {"1:0", "2:1", "1:1", "0:1"}
+        # Values parse as floats.
+        assert all(float(r["latency_ns"]) > 0 for r in back)
+
+    def test_curve_to_rows_fields(self):
+        panels = fig3_loaded_latency(panels=("mmem",), load_points=3)
+        rows = curve_to_rows(panels["mmem"]["1:0"])
+        assert set(rows[0]) == {
+            "write_fraction",
+            "offered_bytes_per_s",
+            "achieved_gbps",
+            "latency_ns",
+        }
+
+
+class TestJson:
+    def test_fig10_to_json(self):
+        result = fig10_llm(backend_counts=(1, 5))
+        payload = json.loads(fig10_to_json(result))
+        assert set(payload["serving"]) == {"mmem", "3:1", "1:1", "1:3"}
+        point = payload["serving"]["mmem"][0]
+        assert point["threads"] == 12
+        assert point["tokens_per_second"] > 0
+        assert len(payload["fig10b_threads_gbps"]) > 0
+
+
+class TestWriteText:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "artifact.csv"
+        write_text(str(path), "a,b\n1,2\n")
+        assert path.read_text() == "a,b\n1,2\n"

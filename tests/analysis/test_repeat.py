@@ -1,0 +1,62 @@
+"""Tests for the repetition utilities — including seed-stability of the
+headline application ratios."""
+
+import pytest
+
+from repro.analysis.repeat import RepeatedMetric, repeat_metric
+from repro.apps.kvstore import run_keydb_config
+from repro.errors import ConfigurationError
+
+
+class TestRepeatedMetric:
+    def test_needs_two_values(self):
+        with pytest.raises(ConfigurationError):
+            RepeatedMetric((1.0,))
+        with pytest.raises(ConfigurationError):
+            repeat_metric(lambda s: 1.0, seeds=(1,))
+
+    def test_statistics(self):
+        metric = RepeatedMetric((2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0))
+        assert metric.mean == pytest.approx(5.0)
+        assert metric.stddev == pytest.approx(2.138, abs=1e-3)
+        assert metric.n == 8
+
+    def test_confidence_interval(self):
+        metric = RepeatedMetric((10.0, 10.0, 10.0, 10.0))
+        lo, hi = metric.confidence_interval(0.95)
+        assert lo == hi == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            metric.confidence_interval(0.5)
+
+    def test_within(self):
+        metric = RepeatedMetric((1.0, 1.1, 0.9, 1.0))
+        assert metric.within(0.5, 1.5)
+        assert not metric.within(1.05, 1.5)
+
+    def test_str(self):
+        text = str(RepeatedMetric((1.0, 2.0, 3.0)))
+        assert "95% CI" in text and "n=3" in text
+
+    def test_repeat_metric_runs_every_seed(self):
+        seen = []
+        metric = repeat_metric(lambda s: (seen.append(s), float(s))[1], seeds=(3, 5, 9))
+        assert seen == [3, 5, 9]
+        assert metric.mean == pytest.approx((3 + 5 + 9) / 3)
+
+
+class TestSeedStability:
+    def test_keydb_interleave_ratio_stable_across_seeds(self):
+        """The 1:1 interleave slowdown band must not be a seed artifact."""
+
+        def slowdown(seed: int) -> float:
+            base = run_keydb_config(
+                "mmem", record_count=16_384, total_ops=20_000, seed=seed
+            ).throughput_ops_per_s
+            inter = run_keydb_config(
+                "1:1", record_count=16_384, total_ops=20_000, seed=seed
+            ).throughput_ops_per_s
+            return base / inter
+
+        metric = repeat_metric(slowdown, seeds=(11, 22, 33))
+        assert metric.relative_spread < 0.05
+        assert metric.within(1.15, 1.6)

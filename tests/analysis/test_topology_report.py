@@ -1,0 +1,38 @@
+"""Tests for the topology renderer."""
+
+from repro.analysis import describe_platform, path_surface_table
+from repro.hw import paper_baseline_platform, paper_cxl_platform
+
+
+class TestDescribePlatform:
+    def test_snc_platform_lists_all_nodes(self):
+        text = describe_platform(paper_cxl_platform(snc_enabled=True))
+        assert "SNC on (4 domains)" in text
+        assert text.count("dram node") == 8
+        assert text.count("cxl node") == 2
+        assert "nic: 12.50 GB/s" in text
+
+    def test_baseline_has_no_cxl(self):
+        text = describe_platform(paper_baseline_platform())
+        assert "cxl node" not in text
+        assert "SNC off" in text
+
+    def test_capacities_rendered(self):
+        text = describe_platform(paper_cxl_platform())
+        assert "512.00 GiB" in text  # one socket's DRAM, SNC off
+        assert "256.00 GiB" in text  # one A1000
+
+
+class TestPathSurface:
+    def test_all_nodes_listed_with_kinds(self):
+        platform = paper_cxl_platform(snc_enabled=True)
+        text = path_surface_table(platform, initiator_socket=0)
+        assert text.count("-> node") == len(platform.nodes)
+        assert "mmem-r" in text and "cxl-r" not in text  # cxl is socket-0 local
+        text1 = path_surface_table(platform, initiator_socket=1)
+        assert "cxl-r" in text1
+
+    def test_anchor_latencies_visible(self):
+        text = path_surface_table(paper_cxl_platform(), 0)
+        assert "97.0 ns" in text
+        assert "250.4 ns" in text

@@ -1,0 +1,116 @@
+"""Tests for the trace replayer."""
+
+import numpy as np
+import pytest
+
+from repro.apps import TraceReplayer
+from repro.errors import ConfigurationError
+from repro.hw import paper_cxl_platform
+from repro.mem import AddressSpace, HotPageSelectionDaemon, MemoryInventory, numactl
+from repro.units import gb_per_s
+from repro.workloads import sequential_trace, zipfian_trace
+
+
+@pytest.fixture
+def platform():
+    return paper_cxl_platform(snc_enabled=False)
+
+
+def make_space(platform, pages, policy=None):
+    space = AddressSpace(MemoryInventory(platform))
+    space.allocate_pages(pages, policy or numactl.membind(platform, socket=0))
+    return space
+
+
+class TestValidation:
+    def test_concurrency(self, platform):
+        space = make_space(platform, 16)
+        with pytest.raises(ConfigurationError):
+            TraceReplayer(platform, space, concurrency=0)
+
+    def test_trace_must_fit_space(self, platform):
+        space = make_space(platform, 16)
+        trace = sequential_trace(32, 100)
+        with pytest.raises(ConfigurationError):
+            TraceReplayer(platform, space).replay(trace)
+
+    def test_epoch_size(self, platform):
+        space = make_space(platform, 16)
+        with pytest.raises(ConfigurationError):
+            TraceReplayer(platform, space).replay(
+                sequential_trace(16, 10), epoch_accesses=0
+            )
+
+
+class TestReplay:
+    def test_dram_only_latency_near_idle(self, platform):
+        space = make_space(platform, 256)
+        result = TraceReplayer(platform, space).replay(sequential_trace(256, 5000))
+        assert result.accesses == 5000
+        assert result.average_latency_ns == pytest.approx(97.0, abs=10)
+        assert result.node_fraction([0]) == 1.0
+
+    def test_interleave_latency_between_tiers(self, platform):
+        space = make_space(platform, 256, numactl.tier_interleave(platform, 1, 1))
+        result = TraceReplayer(platform, space).replay(sequential_trace(256, 5000))
+        assert 97.0 < result.average_latency_ns < 250.42
+        cxl_ids = [n.node_id for n in platform.cxl_nodes()]
+        assert result.node_fraction(cxl_ids) == pytest.approx(0.5, abs=0.02)
+
+    def test_write_trace_uses_write_latency(self, platform):
+        space = make_space(platform, 64)
+        reads = TraceReplayer(platform, space).replay(
+            sequential_trace(64, 2000, write_fraction=0.0)
+        )
+        writes = TraceReplayer(platform, space).replay(
+            sequential_trace(64, 2000, write_fraction=1.0,
+                             rng=np.random.default_rng(1))
+        )
+        # Local NT writes are slightly cheaper than reads (90 vs 97 ns).
+        assert writes.average_latency_ns < reads.average_latency_ns
+
+    def test_bandwidth_reported(self, platform):
+        space = make_space(platform, 64)
+        result = TraceReplayer(platform, space, concurrency=16).replay(
+            sequential_trace(64, 10_000)
+        )
+        assert result.achieved_bandwidth > 0
+        assert result.elapsed_ns > 0
+
+    def test_tiering_daemon_improves_zipfian_placement(self, platform):
+        """End-to-end: replaying a Zipfian trace over 1:1 placement with
+        the hot-page daemon pulls the hot set to DRAM and cuts latency."""
+        rng = np.random.default_rng(5)
+        trace = zipfian_trace(2048, 120_000, rng=rng)
+
+        def run(with_daemon):
+            space = make_space(
+                platform, 2048, numactl.tier_interleave(platform, 1, 1)
+            )
+            daemon = None
+            if with_daemon:
+                daemon = HotPageSelectionDaemon(
+                    space,
+                    dram_nodes=[platform.dram_nodes(0)[0].node_id],
+                    cxl_nodes=[n.node_id for n in platform.cxl_nodes()],
+                    scan_period_ns=1e6,
+                    promote_rate_limit_bytes_per_s=gb_per_s(0.5),
+                    initial_threshold=2.0,
+                )
+            replayer = TraceReplayer(platform, space, tiering=daemon)
+            return replayer.replay(trace)
+
+        static = run(False)
+        tiered = run(True)
+        assert tiered.migrated_bytes > 0
+        cxl_ids = [n.node_id for n in platform.cxl_nodes()]
+        assert tiered.node_fraction(cxl_ids) < static.node_fraction(cxl_ids)
+
+    def test_deterministic(self, platform):
+        trace = zipfian_trace(512, 20_000, rng=np.random.default_rng(2))
+
+        def run():
+            space = make_space(platform, 512, numactl.tier_interleave(platform, 3, 1))
+            return TraceReplayer(platform, space).replay(trace).average_latency_ns
+
+        assert run() == pytest.approx(run(), rel=0)

@@ -1,0 +1,43 @@
+"""Unit tests for the Spark result aggregation types."""
+
+import pytest
+
+from repro.apps.spark import QueryResult, StageResult
+
+
+def stage(name="s", compute=10.0, sw=2.0, sr=3.0, spill=1.0, net=0.5, spilled=100):
+    s = StageResult(name)
+    s.compute_ns = compute
+    s.shuffle_write_ns = sw
+    s.shuffle_read_ns = sr
+    s.spill_ssd_ns = spill
+    s.network_ns = net
+    s.spilled_bytes = spilled
+    return s
+
+
+class TestStageResult:
+    def test_shuffle_and_total(self):
+        s = stage()
+        assert s.shuffle_ns == pytest.approx(5.0)
+        assert s.total_ns == pytest.approx(15.0)
+
+
+class TestQueryResult:
+    def test_aggregation(self):
+        q = QueryResult("Q9", "mmem", stages=[stage(), stage(compute=20.0)])
+        assert q.total_ns == pytest.approx(15.0 + 25.0)
+        assert q.shuffle_ns == pytest.approx(10.0)
+        assert q.shuffle_write_ns == pytest.approx(4.0)
+        assert q.shuffle_read_ns == pytest.approx(6.0)
+        assert q.spilled_bytes == 200
+
+    def test_shuffle_fraction(self):
+        q = QueryResult("Q5", "mmem", stages=[stage()])
+        assert q.shuffle_fraction == pytest.approx(5.0 / 15.0)
+
+    def test_empty_query(self):
+        q = QueryResult("Q0", "mmem")
+        assert q.total_ns == 0.0
+        assert q.shuffle_fraction == 0.0
+        assert q.spilled_bytes == 0

@@ -1,0 +1,147 @@
+"""Tests for the spare-core revenue model (§4.3) and the config advisor."""
+
+import pytest
+
+from repro.core import (
+    PROCESSOR_SERIES,
+    ConfigAdvisor,
+    Severity,
+    SpareCoreModel,
+    WorkloadProfile,
+)
+from repro.errors import ConfigurationError, CostModelError
+from repro.hw import paper_baseline_platform, paper_cxl_platform
+from repro.units import GIB, TIB, gb_per_s
+
+
+class TestSpareCoreModel:
+    def test_paper_example_26_77_percent(self):
+        """§4.3.2: 1:3 server, 20 % discount → '20/75 = 26.77 %' recovered
+        revenue.  (The paper's quoted 26.77 % is its rounding of 20/75,
+        which is exactly 26.67 %.)"""
+        model = SpareCoreModel(actual_ratio=3.0, target_ratio=4.0, discount=0.20)
+        assert model.sellable_fraction == pytest.approx(0.75)
+        assert model.stranded_fraction == pytest.approx(0.25)
+        assert model.recovered_revenue_fraction == pytest.approx(20 / 75, abs=1e-9)
+        assert model.recovered_revenue_fraction == pytest.approx(0.2677, abs=2e-3)
+        assert model.revenue_gain == pytest.approx(1.2667, abs=1e-3)
+
+    def test_balanced_server_recovers_nothing(self):
+        model = SpareCoreModel(actual_ratio=4.0, target_ratio=4.0)
+        assert model.stranded_fraction == 0.0
+        assert model.recovered_revenue_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            SpareCoreModel(actual_ratio=0)
+        with pytest.raises(CostModelError):
+            SpareCoreModel(actual_ratio=5.0, target_ratio=4.0)
+        with pytest.raises(CostModelError):
+            SpareCoreModel(actual_ratio=3.0, discount=1.0)
+
+    def test_required_cxl_capacity(self):
+        model = SpareCoreModel(actual_ratio=3.0, target_ratio=4.0)
+        # 1152 vCPUs at 4 GiB each: a quarter are stranded.
+        needed = model.required_cxl_bytes(1152, 4 * GIB)
+        assert needed == int(0.25 * 1152 * 4 * GIB)
+        with pytest.raises(CostModelError):
+            model.required_cxl_bytes(0, GIB)
+
+    def test_table2_dataset(self):
+        """Table 2: Sierra Forest needs 4.5 TB at 1:4 but caps at 4 TB."""
+        years = [row[0] for row in PROCESSOR_SERIES]
+        assert years == sorted(years)
+        sierra = next(r for r in PROCESSOR_SERIES if r[1] == "Sierra Forest")
+        assert sierra[2] == 1152
+        assert sierra[5] > sierra[4]  # required > max: the §4.3 gap
+        icelake = next(r for r in PROCESSOR_SERIES if r[1] == "IceLake-SP")
+        assert icelake[5] <= icelake[4]  # older parts had headroom
+
+    def test_required_memory_matches_1_4_rule(self):
+        for _, _, vcpus, _, _, required_tb in PROCESSOR_SERIES:
+            assert required_tb == pytest.approx(vcpus * 4 / 1024, rel=0.05)
+
+
+class TestConfigAdvisor:
+    @pytest.fixture(scope="class")
+    def advisor(self):
+        return ConfigAdvisor(paper_cxl_platform(snc_enabled=True))
+
+    def test_requires_cxl_platform(self):
+        with pytest.raises(ConfigurationError):
+            ConfigAdvisor(paper_baseline_platform())
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(demand_bytes_per_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile(demand_bytes_per_s=1.0, locality=2.0)
+
+    def test_low_demand_gets_dram_only_info(self, advisor):
+        advice = advisor.advise(WorkloadProfile(demand_bytes_per_s=gb_per_s(5)))
+        codes = {a.code for a in advice}
+        assert "dram-only-ok" in codes
+        assert "interleave-offload" not in codes
+
+    def test_high_demand_gets_offload_recommendation(self, advisor):
+        advice = advisor.advise(WorkloadProfile(demand_bytes_per_s=gb_per_s(55)))
+        by_code = {a.code: a for a in advice}
+        assert "interleave-offload" in by_code
+        assert by_code["interleave-offload"].severity is Severity.RECOMMEND
+        assert "N:M" in by_code["interleave-offload"].message
+
+    def test_cross_socket_warning(self, advisor):
+        advice = advisor.advise(
+            WorkloadProfile(demand_bytes_per_s=gb_per_s(5), spans_sockets=True)
+        )
+        codes = {a.code for a in advice}
+        assert "remote-cxl-access" in codes
+
+    def test_low_locality_thrash_warning(self, advisor):
+        advice = advisor.advise(
+            WorkloadProfile(demand_bytes_per_s=gb_per_s(5), locality=0.1)
+        )
+        assert "tiering-thrash-risk" in {a.code for a in advice}
+
+    def test_bandwidth_oblivious_promotion_warning(self, advisor):
+        """§5.3: promotion into a >70 %-utilized MMEM tier backfires."""
+        advice = advisor.advise(WorkloadProfile(demand_bytes_per_s=gb_per_s(50)))
+        assert "bandwidth-oblivious-promotion" in {a.code for a in advice}
+
+    def test_capacity_advice_tiers(self, advisor):
+        fits_dram = advisor.advise(
+            WorkloadProfile(demand_bytes_per_s=gb_per_s(1), working_set_bytes=GIB)
+        )
+        assert "cxl-capacity-fit" not in {a.code for a in fits_dram}
+
+        # Socket 0 has 512 GiB of DRAM and 512 GiB of CXL (two A1000s).
+        needs_cxl = advisor.advise(
+            WorkloadProfile(
+                demand_bytes_per_s=gb_per_s(1),
+                working_set_bytes=int(0.8 * TIB),
+            )
+        )
+        assert "cxl-capacity-fit" in {a.code for a in needs_cxl}
+
+        too_big = advisor.advise(
+            WorkloadProfile(
+                demand_bytes_per_s=gb_per_s(1),
+                working_set_bytes=10 * TIB,
+            )
+        )
+        assert "capacity-exceeded" in {a.code for a in too_big}
+
+    def test_warnings_sorted_first(self, advisor):
+        advice = advisor.advise(
+            WorkloadProfile(
+                demand_bytes_per_s=gb_per_s(55),
+                locality=0.1,
+                spans_sockets=True,
+            )
+        )
+        severities = [a.severity for a in advice]
+        first_non_warning = next(
+            (i for i, s in enumerate(severities) if s is not Severity.WARNING),
+            len(severities),
+        )
+        assert all(s is not Severity.WARNING for s in severities[first_non_warning:])

@@ -1,0 +1,169 @@
+"""Tests for the Abstract Cost Model (§6) — including the paper's exact
+worked example."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import AbstractCostModel, fixed_cost_r_t, sweep_c, sweep_r_c, sweep_r_t
+from repro.errors import CostModelError
+
+
+class TestPaperExample:
+    """R_d=10, R_c=8, C=2, R_t=1.1 → 67.29 % and 25.98 % (§6)."""
+
+    def test_server_ratio_67_29(self):
+        model = AbstractCostModel.paper_example()
+        assert model.server_ratio() == pytest.approx(0.6729, abs=2e-4)
+
+    def test_tco_saving_25_98(self):
+        model = AbstractCostModel.paper_example()
+        assert model.tco_saving() == pytest.approx(0.2598, abs=2e-4)
+
+    def test_servers_saved_32_71(self):
+        """'We may reduce the number of servers by 32.71 %.'"""
+        model = AbstractCostModel.paper_example()
+        assert model.servers_saved_fraction() == pytest.approx(0.3271, abs=2e-4)
+
+    def test_estimate_bundle(self):
+        est = AbstractCostModel.paper_example().estimate()
+        assert est.server_ratio == pytest.approx(0.6729, abs=2e-4)
+        assert est.tco_saving == pytest.approx(0.2598, abs=2e-4)
+        assert est.servers_saved_fraction == pytest.approx(1 - est.server_ratio)
+
+
+class TestDerivation:
+    """The ratio must actually equalize the two execution times."""
+
+    def test_equal_performance_at_ratio(self):
+        model = AbstractCostModel.paper_example()
+        d = 1.0
+        w = 1000.0
+        n_base = 100.0
+        n_cxl = n_base * model.server_ratio()
+        assert model.t_baseline(n_base, w, d) == pytest.approx(
+            model.t_cxl(n_cxl, w, d), rel=1e-9
+        )
+
+    def test_ratio_independent_of_working_set(self):
+        """§6 derives the ratio from T_baseline == T_cxl; W cancels."""
+        model = AbstractCostModel.paper_example()
+        d, n_base = 1.0, 100.0
+        n_cxl = n_base * model.server_ratio()
+        for w in (500.0, 2000.0, 50_000.0):
+            assert model.t_baseline(n_base, w, d) == pytest.approx(
+                model.t_cxl(n_cxl, w, d), rel=1e-9
+            )
+
+    def test_time_args_validated(self):
+        model = AbstractCostModel.paper_example()
+        with pytest.raises(CostModelError):
+            model.t_baseline(0, 100, 1)
+        with pytest.raises(CostModelError):
+            # Working set smaller than cluster memory: no-spill regime.
+            model.t_baseline(100, 10, 1)
+        with pytest.raises(CostModelError):
+            model.t_cxl(100, 10, 1)
+
+
+class TestValidation:
+    def test_r_d_must_exceed_one(self):
+        with pytest.raises(CostModelError):
+            AbstractCostModel(r_d=1.0, r_c=0.9, c=2)
+
+    def test_r_c_must_exceed_one(self):
+        with pytest.raises(CostModelError):
+            AbstractCostModel(r_d=10, r_c=1.0, c=2)
+
+    def test_r_c_cannot_exceed_r_d(self):
+        with pytest.raises(CostModelError):
+            AbstractCostModel(r_d=5, r_c=6, c=2)
+
+    def test_positive_c_and_r_t(self):
+        with pytest.raises(CostModelError):
+            AbstractCostModel(r_d=10, r_c=8, c=0)
+        with pytest.raises(CostModelError):
+            AbstractCostModel(r_d=10, r_c=8, c=2, r_t=0)
+
+    def test_d_for_completeness_only(self):
+        """Table 3 lists D 'for completeness only, not used in cost model'."""
+        with_d = AbstractCostModel(r_d=10, r_c=8, c=2, r_t=1.1, d=512.0)
+        without = AbstractCostModel(r_d=10, r_c=8, c=2, r_t=1.1)
+        assert with_d.server_ratio() == without.server_ratio()
+        with pytest.raises(CostModelError):
+            AbstractCostModel(r_d=10, r_c=8, c=2, d=-1.0)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=2.0, max_value=50.0),
+        st.floats(min_value=0.3, max_value=1.0),
+        st.floats(min_value=0.5, max_value=8.0),
+    )
+    def test_server_ratio_below_one(self, r_d, rc_frac, c):
+        """Adding CXL capacity never *increases* the server count."""
+        r_c = max(1.01, r_d * rc_frac)
+        model = AbstractCostModel(r_d=r_d, r_c=r_c, c=c)
+        assert 0.0 < model.server_ratio() <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=1.05, max_value=10.0))
+    def test_saving_decreases_with_premium(self, r_t):
+        base = AbstractCostModel(10, 8, 2, 1.0)
+        premium = AbstractCostModel(10, 8, 2, r_t)
+        assert premium.tco_saving() < base.tco_saving()
+
+    @given(st.floats(min_value=1.5, max_value=9.9))
+    def test_saving_increases_with_r_c(self, r_c):
+        """A faster CXL tier always helps."""
+        slow = AbstractCostModel(10, r_c, 2)
+        fast = AbstractCostModel(10, min(9.99, r_c + 0.05), 2)
+        assert fast.server_ratio() <= slow.server_ratio() + 1e-12
+
+    def test_breakeven_r_t(self):
+        model = AbstractCostModel.paper_example()
+        breakeven = model.breakeven_r_t()
+        zeroed = AbstractCostModel(10, 8, 2, breakeven)
+        assert zeroed.tco_saving() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSweeps:
+    def test_sweep_r_t_monotone(self):
+        points = sweep_r_t(AbstractCostModel.paper_example(), [1.0, 1.1, 1.2, 1.4])
+        savings = [p.tco_saving for p in points]
+        assert savings == sorted(savings, reverse=True)
+        assert all(p.server_ratio == points[0].server_ratio for p in points)
+
+    def test_sweep_c_more_cxl_saves_more(self):
+        points = sweep_c(AbstractCostModel.paper_example(), [4.0, 2.0, 1.0, 0.5])
+        savings = [p.tco_saving for p in points]
+        assert savings == sorted(savings)
+
+    def test_sweep_r_c(self):
+        points = sweep_r_c(AbstractCostModel.paper_example(), [4.0, 6.0, 8.0])
+        savings = [p.tco_saving for p in points]
+        assert savings == sorted(savings)
+
+    def test_fixed_cost_folding(self):
+        """§6: controllers/switches/cables fold into R_t as constants."""
+        r_t = fixed_cost_r_t(
+            base_server_cost=10_000,
+            cxl_memory_cost=800,
+            controller_cost=150,
+            switch_cost=0,
+            cabling_cost=50,
+        )
+        assert r_t == pytest.approx(1.1)
+        with pytest.raises(CostModelError):
+            fixed_cost_r_t(0, 1)
+        with pytest.raises(CostModelError):
+            fixed_cost_r_t(100, -1)
+
+    def test_measured_inputs_compose(self):
+        """The §6 pipeline: measure on the simulator, estimate TCO."""
+        from repro.apps.spark import measure_cost_model_inputs
+
+        inputs = measure_cost_model_inputs()
+        model = AbstractCostModel.from_measurements(
+            r_d=inputs.r_d, r_c=inputs.r_c, c=2.0, r_t=1.1
+        )
+        assert 0.0 < model.server_ratio() < 1.0

@@ -1,0 +1,108 @@
+"""Tests for the fleet planner."""
+
+import pytest
+
+from repro.core.fleet import FleetPlanner, Verdict, WorkloadClass
+from repro.errors import CostModelError
+from repro.hw import paper_baseline_platform, paper_cxl_platform
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return FleetPlanner(paper_cxl_platform(snc_enabled=True))
+
+
+class TestValidation:
+    def test_needs_cxl_platform(self):
+        with pytest.raises(CostModelError):
+            FleetPlanner(paper_baseline_platform())
+
+    def test_workload_validation(self):
+        with pytest.raises(CostModelError):
+            WorkloadClass("x", servers=0, memory_pressure=1.0)
+        with pytest.raises(CostModelError):
+            WorkloadClass("x", servers=1, memory_pressure=-1.0)
+
+
+class TestVerdicts:
+    def test_comfortable_class_stays_dram_only(self, planner):
+        plan = planner.plan_class(
+            WorkloadClass("web", servers=100, memory_pressure=0.5)
+        )
+        assert plan.verdict is Verdict.DRAM_ONLY
+        assert plan.servers_saved == 0
+        assert plan.tco_saving == 0.0
+
+    def test_capacity_bound_class_gets_cost_model(self, planner):
+        plan = planner.plan_class(
+            WorkloadClass("kv", servers=100, memory_pressure=1.5,
+                          r_d=10, r_c=8, c=2, r_t=1.1)
+        )
+        assert plan.verdict is Verdict.CXL_CAPACITY
+        # §6 example: 67.29 % of servers.
+        assert plan.servers_after == 67
+        assert plan.tco_saving == pytest.approx(0.2598, abs=2e-4)
+        assert "§6" in plan.detail
+
+    def test_capacity_bound_with_overpriced_cxl_declines(self, planner):
+        plan = planner.plan_class(
+            WorkloadClass("kv", servers=100, memory_pressure=1.5, r_t=1.6)
+        )
+        # Premium above breakeven (1.486): no saving, stay DRAM-only.
+        assert plan.verdict is Verdict.DRAM_ONLY
+
+    def test_bandwidth_bound_class_gets_interleave(self, planner):
+        plan = planner.plan_class(
+            WorkloadClass("inference", servers=50, memory_pressure=0.3,
+                          bandwidth_pressure=0.9)
+        )
+        assert plan.verdict is Verdict.CXL_BANDWIDTH
+        assert "N:M" in plan.detail
+        assert plan.servers_after == 50
+
+    def test_moderate_bandwidth_stays_dram(self, planner):
+        plan = planner.plan_class(
+            WorkloadClass("batch", servers=10, memory_pressure=0.3,
+                          bandwidth_pressure=0.3)
+        )
+        assert plan.verdict is Verdict.DRAM_ONLY
+
+    def test_core_bound_class_gets_spare_cores(self, planner):
+        plan = planner.plan_class(
+            WorkloadClass("ecs", servers=200, memory_pressure=0.8,
+                          vcpu_actual_ratio=3.0)
+        )
+        assert plan.verdict is Verdict.CXL_SPARE_CORES
+        assert plan.tco_saving == pytest.approx(20 / 75, abs=1e-6)
+
+    def test_core_bound_takes_priority(self, planner):
+        """A memory-bound ECS class is still handled as spare cores —
+        that is where the revenue is."""
+        plan = planner.plan_class(
+            WorkloadClass("ecs", servers=10, memory_pressure=1.4,
+                          vcpu_actual_ratio=3.5)
+        )
+        assert plan.verdict is Verdict.CXL_SPARE_CORES
+
+
+class TestFleetAggregation:
+    def test_mixed_fleet(self, planner):
+        fleet = planner.plan(
+            [
+                WorkloadClass("kv", servers=100, memory_pressure=1.5),
+                WorkloadClass("inference", servers=50, memory_pressure=0.3,
+                              bandwidth_pressure=0.9),
+                WorkloadClass("web", servers=200, memory_pressure=0.4),
+                WorkloadClass("ecs", servers=150, memory_pressure=0.8,
+                              vcpu_actual_ratio=3.0),
+            ]
+        )
+        assert fleet.servers_before == 500
+        assert fleet.servers_after == 500 - 33  # only kv shrinks
+        assert fleet.classes_adopting_cxl == 3
+        assert 0.0 < fleet.fleet_tco_saving() < 0.2598
+
+    def test_empty_fleet(self, planner):
+        fleet = planner.plan([])
+        assert fleet.servers_before == 0
+        assert fleet.fleet_tco_saving() == 0.0

@@ -1,0 +1,123 @@
+"""Tests for the bandwidth-aware placement optimizer (§3.4 insight)."""
+
+import pytest
+
+from repro.core import BandwidthAwarePlacer
+from repro.errors import ConfigurationError
+from repro.hw import paper_cxl_platform
+from repro.units import gb_per_s
+
+
+@pytest.fixture(scope="module")
+def placer():
+    platform = paper_cxl_platform(snc_enabled=True)
+    dram = platform.dram_nodes(0)[0]
+    cxl = platform.cxl_nodes()[0]
+    return BandwidthAwarePlacer(
+        platform.path(0, dram.node_id, initiator_domain=dram.domain),
+        platform.path(0, cxl.node_id),
+    )
+
+
+class TestValidation:
+    def test_resolution(self, placer):
+        with pytest.raises(ConfigurationError):
+            BandwidthAwarePlacer(placer.dram_path, placer.cxl_path, resolution=5)
+
+    def test_split_point_args(self, placer):
+        with pytest.raises(ConfigurationError):
+            placer.split_point(1.5, gb_per_s(10))
+        with pytest.raises(ConfigurationError):
+            placer.split_point(0.5, 0.0)
+
+
+class TestLowLoad:
+    def test_dram_only_optimal_at_low_demand(self, placer):
+        """Far below the knee, CXL's idle latency penalty dominates."""
+        report = placer.optimal_split(gb_per_s(10.0))
+        assert report.best.cxl_fraction == 0.0
+        assert not report.should_offload
+
+    def test_recommend_ratio_none_at_low_demand(self, placer):
+        assert placer.recommend_ratio(gb_per_s(10.0)) is None
+
+
+class TestPaperHeadline:
+    """'Even if ... 30 % of MMEM bandwidth remains unused, offloading
+    ~20 % to CXL memory can lead to overall performance improvements.'"""
+
+    def test_offload_wins_with_dram_at_70_percent(self, placer):
+        """Even at 70 % DRAM utilization — 30 % of bandwidth unused — a
+        (small) CXL offload already reduces average latency."""
+        demand = 0.70 * placer.dram_path.peak_bandwidth(0.0)
+        report = placer.optimal_split(demand)
+        assert report.should_offload
+        assert 0.01 <= report.best.cxl_fraction <= 0.40
+        assert report.latency_gain > 0.005
+
+    def test_offload_near_20_percent_at_higher_load(self, placer):
+        """Around the knee, the optimizer lands on the paper's ~20 %
+        offload figure."""
+        demand = 0.88 * placer.dram_path.peak_bandwidth(0.0)
+        report = placer.optimal_split(demand)
+        assert 0.08 <= report.best.cxl_fraction <= 0.45
+        assert report.latency_gain > 0.05
+
+    def test_offload_is_decisive_past_the_knee(self, placer):
+        demand = 0.95 * placer.dram_path.peak_bandwidth(0.0)
+        report = placer.optimal_split(demand)
+        assert report.should_offload
+        assert report.latency_gain > 0.3
+
+    def test_optimal_fraction_grows_with_demand(self, placer):
+        peak = placer.dram_path.peak_bandwidth(0.0)
+        fractions = [
+            placer.optimal_split(level * peak).best.cxl_fraction
+            for level in (0.7, 0.9, 1.1)
+        ]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > fractions[0]
+
+    def test_best_never_worse_than_dram_only(self, placer):
+        for level in (0.2, 0.5, 0.8, 1.0, 1.3):
+            demand = level * placer.dram_path.peak_bandwidth(0.0)
+            report = placer.optimal_split(demand)
+            assert (
+                report.best.average_latency_ns
+                <= report.dram_only.average_latency_ns + 1e-9
+            )
+
+
+class TestReporting:
+    def test_curve_covers_unit_interval(self, placer):
+        report = placer.optimal_split(gb_per_s(50.0))
+        assert report.curve[0].cxl_fraction == 0.0
+        assert report.curve[-1].cxl_fraction == 1.0
+        assert len(report.curve) == placer.resolution + 1
+
+    def test_utilizations_consistent(self, placer):
+        point = placer.split_point(0.25, gb_per_s(40.0))
+        expected_u_d = 0.75 * gb_per_s(40.0) / placer.dram_path.peak_bandwidth(0.0)
+        assert point.dram_utilization == pytest.approx(expected_u_d)
+
+    def test_effective_bandwidth_is_sum(self, placer):
+        total = placer.effective_bandwidth(0.0)
+        assert total == pytest.approx(
+            placer.dram_path.peak_bandwidth(0.0)
+            + placer.cxl_path.peak_bandwidth(0.0)
+        )
+
+    def test_recommend_ratio_format(self, placer):
+        demand = 0.9 * placer.dram_path.peak_bandwidth(0.0)
+        ratio = placer.recommend_ratio(demand)
+        assert ratio is not None
+        n, m = ratio.split(":")
+        assert int(n) >= 1 and int(m) >= 1
+
+    def test_write_fraction_shifts_optimum(self, placer):
+        """Writes shrink peak bandwidths, so the same absolute demand is
+        closer to the knee and offloading starts earlier."""
+        demand = 0.65 * placer.dram_path.peak_bandwidth(0.0)
+        read_heavy = placer.optimal_split(demand, write_fraction=0.0)
+        write_heavy = placer.optimal_split(demand, write_fraction=1.0)
+        assert write_heavy.best.cxl_fraction >= read_heavy.best.cxl_fraction

@@ -1,0 +1,87 @@
+"""Tests for the pooling economics model (§7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AbstractCostModel, PoolSavingsModel
+from repro.errors import CostModelError
+
+
+def anti_correlated_demands(hosts=8, samples=200, seed=3):
+    """Hosts whose peaks don't coincide: the pooling sweet spot."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(50, 100, size=(hosts, samples))
+    for i in range(hosts):
+        # Each host peaks in its own window.
+        lo = (i * samples) // hosts
+        hi = ((i + 1) * samples) // hosts
+        base[i, lo:hi] += 200.0
+    return base
+
+
+class TestValidation:
+    def test_shape(self):
+        with pytest.raises(CostModelError):
+            PoolSavingsModel([[1.0, 2.0]])  # one host
+        with pytest.raises(CostModelError):
+            PoolSavingsModel(np.zeros((3, 2, 2)))
+
+    def test_negative_demand(self):
+        with pytest.raises(CostModelError):
+            PoolSavingsModel([[1.0], [-1.0]])
+
+    def test_percentile_and_overhead(self):
+        demands = [[1.0, 2.0], [2.0, 1.0]]
+        with pytest.raises(CostModelError):
+            PoolSavingsModel(demands, percentile=0.0)
+        with pytest.raises(CostModelError):
+            PoolSavingsModel(demands, pool_overhead=-0.1)
+
+
+class TestSavings:
+    def test_anti_correlated_hosts_save_a_lot(self):
+        model = PoolSavingsModel(anti_correlated_demands())
+        # Per-host peaks sum to ~8x300; the aggregate peaks near
+        # 8x100 + 200 — pooling strands far less capacity.
+        assert model.stranded_fraction > 0.3
+
+    def test_perfectly_correlated_hosts_save_nothing(self):
+        demand = np.tile(np.linspace(10, 100, 50), (4, 1))
+        model = PoolSavingsModel(demand, pool_overhead=0.1)
+        # Aggregate peak == sum of peaks; overhead makes pooling worse.
+        assert model.stranded_fraction == 0.0
+
+    def test_overhead_reduces_savings(self):
+        demands = anti_correlated_demands()
+        lean = PoolSavingsModel(demands, pool_overhead=0.0)
+        fat = PoolSavingsModel(demands, pool_overhead=0.3)
+        assert fat.stranded_fraction < lean.stranded_fraction
+
+    def test_provisioned_bytes_ordering(self):
+        model = PoolSavingsModel(anti_correlated_demands())
+        assert model.pooled_provisioned_bytes < model.per_host_provisioned_bytes
+
+
+class TestCostModelIntegration:
+    def test_effective_r_t_below_dedicated(self):
+        model = PoolSavingsModel(anti_correlated_demands())
+        r_t = model.effective_r_t(
+            base_server_cost=10_000, memory_cost=2_000, pool_fabric_cost=300
+        )
+        # Pooling trims the memory bill more than the fabric costs.
+        assert r_t < 1.0
+
+    def test_costs_validated(self):
+        model = PoolSavingsModel(anti_correlated_demands())
+        with pytest.raises(CostModelError):
+            model.effective_r_t(0, 100)
+        with pytest.raises(CostModelError):
+            model.effective_r_t(100, -1)
+
+    def test_composes_with_abstract_cost_model(self):
+        """§7.1 end-to-end: pooled R_t feeds the §6 model."""
+        pool = PoolSavingsModel(anti_correlated_demands())
+        r_t = pool.effective_r_t(10_000, 2_000, 300)
+        cxl = AbstractCostModel(r_d=10, r_c=8, c=2, r_t=max(r_t, 0.5))
+        dedicated = AbstractCostModel(r_d=10, r_c=8, c=2, r_t=1.1)
+        assert cxl.tco_saving() > dedicated.tco_saving()

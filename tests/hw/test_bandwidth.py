@@ -1,0 +1,84 @@
+"""Tests for peak-bandwidth curves."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.bandwidth import PeakBandwidthCurve, write_fraction_of_mix
+
+
+class TestWriteFractionOfMix:
+    def test_paper_mix_labels(self):
+        assert write_fraction_of_mix(1, 0) == 0.0  # read-only
+        assert write_fraction_of_mix(0, 1) == 1.0  # write-only
+        assert write_fraction_of_mix(2, 1) == pytest.approx(1 / 3)
+        assert write_fraction_of_mix(1, 1) == pytest.approx(0.5)
+        assert write_fraction_of_mix(1, 2) == pytest.approx(2 / 3)
+
+    def test_invalid_mixes(self):
+        with pytest.raises(ConfigurationError):
+            write_fraction_of_mix(0, 0)
+        with pytest.raises(ConfigurationError):
+            write_fraction_of_mix(-1, 1)
+
+
+class TestPeakBandwidthCurve:
+    def test_requires_two_points_covering_both_ends(self):
+        with pytest.raises(ConfigurationError):
+            PeakBandwidthCurve(((0.0, 1.0),))
+        with pytest.raises(ConfigurationError):
+            PeakBandwidthCurve(((0.1, 1.0), (1.0, 2.0)))
+        with pytest.raises(ConfigurationError):
+            PeakBandwidthCurve(((0.0, 1.0), (0.9, 2.0)))
+
+    def test_points_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            PeakBandwidthCurve(((0.0, 1.0), (0.5, 2.0), (0.5, 3.0), (1.0, 1.0)))
+
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PeakBandwidthCurve(((0.0, 0.0), (1.0, 1.0)))
+
+    def test_endpoints_and_interpolation(self):
+        curve = PeakBandwidthCurve.from_points([(0.0, 100.0), (1.0, 50.0)])
+        assert curve(0.0) == 100.0
+        assert curve(1.0) == 50.0
+        assert curve(0.5) == pytest.approx(75.0)
+
+    def test_non_monotone_peak_shape(self):
+        """CXL peaks at 2:1, not at read-only (Fig. 3(c))."""
+        curve = PeakBandwidthCurve.from_points(
+            [(0.0, 50.0), (1 / 3, 56.7), (1.0, 41.0)]
+        )
+        frac, peak = curve.peak()
+        assert frac == pytest.approx(1 / 3)
+        assert peak == pytest.approx(56.7)
+        assert curve(0.0) < curve(1 / 3)
+        assert curve(1.0) < curve(1 / 3)
+
+    def test_out_of_range_write_fraction(self):
+        curve = PeakBandwidthCurve.flat(10.0)
+        with pytest.raises(ConfigurationError):
+            curve(-0.1)
+        with pytest.raises(ConfigurationError):
+            curve(1.1)
+
+    def test_flat_curve(self):
+        curve = PeakBandwidthCurve.flat(42.0)
+        assert curve(0.0) == curve(0.5) == curve(1.0) == 42.0
+
+    def test_scaled(self):
+        curve = PeakBandwidthCurve.from_points([(0.0, 10.0), (1.0, 5.0)]).scaled(4.0)
+        assert curve(0.0) == 40.0
+        assert curve(1.0) == 20.0
+        with pytest.raises(ConfigurationError):
+            curve.scaled(0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_interpolation_within_envelope_property(self, wf):
+        curve = PeakBandwidthCurve.from_points(
+            [(0.0, 50.0), (1 / 3, 56.7), (0.5, 54.0), (1.0, 41.0)]
+        )
+        value = curve(wf)
+        assert 41.0 <= value <= 56.7

@@ -1,0 +1,104 @@
+"""The hardware model must reproduce the paper's §3 anchors."""
+
+import pytest
+
+from repro.hw.calibration import (
+    ANCHORS,
+    path_bandwidth_curve,
+    path_latency_model,
+)
+from repro.units import to_gb_per_s
+
+
+class TestIdleLatencyAnchors:
+    def test_mmem_local_read_97ns(self):
+        assert path_latency_model("mmem_local").idle_ns(0.0) == pytest.approx(97.0)
+
+    def test_mmem_remote_read_130ns_write_71_77ns(self):
+        model = path_latency_model("mmem_remote")
+        assert model.idle_ns(0.0) == pytest.approx(130.0)
+        assert model.idle_ns(1.0) == pytest.approx(71.77)
+
+    def test_cxl_local_250_42ns(self):
+        assert path_latency_model("cxl_local").idle_ns(0.0) == pytest.approx(250.42)
+
+    def test_cxl_remote_485ns(self):
+        assert path_latency_model("cxl_remote").idle_ns(0.0) == pytest.approx(485.0)
+
+    def test_cxl_vs_mmem_ratio_in_paper_band(self):
+        """CXL latency is 2.4-2.6x local DDR (§3.3)."""
+        ratio = path_latency_model("cxl_local").idle_ns(0.0) / path_latency_model(
+            "mmem_local"
+        ).idle_ns(0.0)
+        lo, hi = ANCHORS.cxl_vs_mmem_latency_ratio
+        assert lo <= ratio <= hi
+
+    def test_cxl_vs_mmem_remote_ratio_in_paper_band(self):
+        """CXL latency is 1.5-1.92x remote-socket DDR (§3.3)."""
+        ratio = path_latency_model("cxl_local").idle_ns(0.0) / path_latency_model(
+            "mmem_remote"
+        ).idle_ns(0.0)
+        lo, hi = ANCHORS.cxl_vs_mmem_remote_latency_ratio
+        assert lo <= ratio <= hi + 0.02  # 250.42/130 = 1.926
+
+    def test_distance_ordering(self):
+        """MMEM < MMEM-snc < MMEM-r < CXL < CXL-r for read idle latency."""
+        latencies = [
+            path_latency_model(k).idle_ns(0.0)
+            for k in ("mmem_local", "mmem_snc", "mmem_remote", "cxl_local", "cxl_remote")
+        ]
+        assert latencies == sorted(latencies)
+
+
+class TestBandwidthAnchors:
+    def test_mmem_read_67_write_54_6(self):
+        curve = path_bandwidth_curve("mmem_local")
+        assert to_gb_per_s(curve(0.0)) == pytest.approx(67.0)
+        assert to_gb_per_s(curve(1.0)) == pytest.approx(54.6)
+
+    def test_mmem_read_efficiency_87_percent(self):
+        """67 GB/s is 87 % of the 76.8 GB/s theoretical peak (§3.2)."""
+        eff = ANCHORS.mmem_read_peak_gbps / ANCHORS.snc_domain_theoretical_gbps
+        assert eff == pytest.approx(0.87, abs=0.01)
+
+    def test_cxl_peaks_at_2_1_mix(self):
+        curve = path_bandwidth_curve("cxl_local")
+        frac, peak = curve.peak()
+        assert frac == pytest.approx(1 / 3)
+        assert to_gb_per_s(peak) == pytest.approx(56.7)
+
+    def test_cxl_read_only_below_mixed_peak(self):
+        """Read-only cannot use both PCIe directions (§3.2)."""
+        curve = path_bandwidth_curve("cxl_local")
+        assert curve(0.0) < curve(1 / 3)
+
+    def test_cxl_remote_halved_by_rsf(self):
+        """Remote CXL is 20.4 GB/s at 2:1 — far below local 56.7 (§3.2)."""
+        local = path_bandwidth_curve("cxl_local")(1 / 3)
+        remote = path_bandwidth_curve("cxl_remote")(1 / 3)
+        assert to_gb_per_s(remote) == pytest.approx(20.4, abs=0.1)
+        assert remote < local / 2.5
+
+    def test_mmem_remote_write_only_is_worst(self):
+        """Write-only remote suffers most: one UPI direction idle (§3.2)."""
+        curve = path_bandwidth_curve("mmem_remote")
+        assert curve(1.0) < curve(0.5) < curve(0.0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            path_bandwidth_curve("nvram")
+        with pytest.raises(KeyError):
+            path_latency_model("nvram")
+
+
+class TestApplicationAnchors:
+    def test_cost_model_example_values(self):
+        ex = ANCHORS.cost_example
+        assert ex["R_d"] == 10.0 and ex["R_c"] == 8.0
+        assert ex["server_ratio"] == pytest.approx(0.6729, abs=1e-4)
+        assert ex["tco_saving"] == pytest.approx(0.2598, abs=1e-4)
+
+    def test_keydb_bands_sane(self):
+        lo, hi = ANCHORS.keydb_interleave_slowdown
+        assert 1.0 < lo < hi
+        assert ANCHORS.keydb_ssd_slowdown > hi

@@ -1,0 +1,62 @@
+"""Tests for runtime devices (SSD model, shared resources, nodes)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hw.bandwidth import PeakBandwidthCurve
+from repro.hw.device import MemoryNode, NodeKind, SharedResource, SsdDevice
+from repro.hw.spec import SsdSpec
+
+
+class TestSsdDevice:
+    def test_read_time_components(self):
+        ssd = SsdDevice(SsdSpec())
+        t = ssd.access_time_ns(1_000_000, is_write=False)
+        expected = 80_000.0 + 1_000_000 / 3.2e9 * 1e9
+        assert t == pytest.approx(expected)
+        assert ssd.bytes_read == 1_000_000
+
+    def test_write_time_components(self):
+        ssd = SsdDevice(SsdSpec())
+        t = ssd.access_time_ns(1_000_000, is_write=True)
+        expected = 20_000.0 + 1_000_000 / 2.0e9 * 1e9
+        assert t == pytest.approx(expected)
+        assert ssd.bytes_written == 1_000_000
+
+    def test_queueing_inflation(self):
+        ssd = SsdDevice(SsdSpec())
+        idle = ssd.access_time_ns(4096, False, utilization=0.0)
+        busy = ssd.access_time_ns(4096, False, utilization=0.5)
+        assert busy == pytest.approx(idle * 2.0)
+
+    def test_validation(self):
+        ssd = SsdDevice(SsdSpec())
+        with pytest.raises(CapacityError):
+            ssd.access_time_ns(-1, False)
+        with pytest.raises(ConfigurationError):
+            ssd.access_time_ns(1, False, utilization=1.5)
+
+    def test_reset_counters(self):
+        ssd = SsdDevice(SsdSpec())
+        ssd.access_time_ns(100, False)
+        ssd.reset_counters()
+        assert ssd.bytes_read == 0 and ssd.bytes_written == 0
+
+
+class TestSharedResourceAndNode:
+    def test_resource_capacity_follows_curve(self):
+        res = SharedResource("r", PeakBandwidthCurve.from_points([(0.0, 10.0), (1.0, 5.0)]))
+        assert res.capacity(0.0) == 10.0
+        assert res.capacity(1.0) == 5.0
+
+    def test_node_validation(self):
+        res = SharedResource("r", PeakBandwidthCurve.flat(1.0))
+        with pytest.raises(ConfigurationError):
+            MemoryNode(0, NodeKind.DRAM, 0, capacity_bytes=0, resource=res)
+        with pytest.raises(ConfigurationError):
+            MemoryNode(0, NodeKind.CXL, 0, capacity_bytes=1, resource=res, domain=2)
+
+    def test_is_cxl(self):
+        res = SharedResource("r", PeakBandwidthCurve.flat(1.0))
+        assert MemoryNode(0, NodeKind.CXL, 0, 1, res).is_cxl
+        assert not MemoryNode(0, NodeKind.DRAM, 0, 1, res).is_cxl

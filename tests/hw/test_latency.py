@@ -1,0 +1,104 @@
+"""Tests for the loaded-latency model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.latency import IdleLatency, LoadedLatencyModel, QueueingModel
+
+
+class TestIdleLatency:
+    def test_interpolates_between_read_and_write(self):
+        idle = IdleLatency(read_ns=130.0, write_ns=71.77)
+        assert idle(0.0) == 130.0
+        assert idle(1.0) == 71.77
+        assert idle(0.5) == pytest.approx((130.0 + 71.77) / 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdleLatency(read_ns=0.0, write_ns=1.0)
+        idle = IdleLatency(100.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            idle(1.5)
+
+
+class TestQueueingModel:
+    def test_zero_at_idle(self):
+        q = QueueingModel(amplitude_ns=60.0, sharpness=6.0)
+        assert q.delay_ns(0.0) == 0.0
+
+    def test_monotonically_increasing(self):
+        q = QueueingModel(amplitude_ns=60.0, sharpness=6.0)
+        prev = -1.0
+        for u in [i / 100 for i in range(101)]:
+            d = q.delay_ns(u)
+            assert d >= prev
+            prev = d
+
+    def test_flat_before_knee_steep_after(self):
+        """The paper's signature shape: negligible added latency at 50 %
+        utilization, large at 95 % (§3.2)."""
+        q = QueueingModel(amplitude_ns=60.0, sharpness=6.0)
+        assert q.delay_ns(0.5) < 10.0
+        assert q.delay_ns(0.95) > 200.0
+
+    def test_knee_in_paper_band_for_mmem_parameters(self):
+        """Local DDR5 knee lands at 75-83 % utilization (§3.2)."""
+        from repro.hw.calibration import path_latency_model
+
+        q = path_latency_model("mmem_local").queueing
+        knee = q.knee_utilization(threshold_ns=50.0)
+        assert 0.75 <= knee <= 0.83
+
+    def test_remote_knee_is_earlier_than_local(self):
+        """'Latency escalation occurs earlier in remote socket memory
+        accesses than in local ones' (§3.2)."""
+        from repro.hw.calibration import path_latency_model
+
+        local = path_latency_model("mmem_local").queueing.knee_utilization()
+        remote = path_latency_model("mmem_remote").queueing.knee_utilization()
+        assert remote < local
+
+    def test_closed_loop_bound(self):
+        """Even at nominal 100 % utilization the delay stays finite and
+        bounded by amplitude * max_queue."""
+        q = QueueingModel(amplitude_ns=60.0, sharpness=6.0, max_queue=16.0)
+        assert q.delay_ns(1.0) <= 60.0 * 16.0
+        assert q.delay_ns(5.0) == q.delay_ns(1.0)  # clamped
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueueingModel(amplitude_ns=-1.0, sharpness=2.0)
+        with pytest.raises(ConfigurationError):
+            QueueingModel(amplitude_ns=1.0, sharpness=0.5)
+        with pytest.raises(ConfigurationError):
+            QueueingModel(amplitude_ns=1.0, sharpness=2.0, max_queue=0.5)
+        q = QueueingModel(amplitude_ns=1.0, sharpness=2.0)
+        with pytest.raises(ConfigurationError):
+            q.delay_ns(-0.1)
+
+    def test_knee_returns_one_when_never_exceeds(self):
+        q = QueueingModel(amplitude_ns=0.0, sharpness=2.0)
+        assert q.knee_utilization() == 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_monotonicity_property(self, u1, u2):
+        q = QueueingModel(amplitude_ns=80.0, sharpness=4.0)
+        lo, hi = sorted((u1, u2))
+        assert q.delay_ns(lo) <= q.delay_ns(hi) + 1e-9
+
+
+class TestLoadedLatencyModel:
+    def test_combines_idle_and_queueing(self):
+        model = LoadedLatencyModel(
+            idle=IdleLatency(100.0, 80.0),
+            queueing=QueueingModel(amplitude_ns=60.0, sharpness=6.0),
+        )
+        assert model.latency_ns(0.0, 0.0) == 100.0
+        assert model.latency_ns(0.0, 1.0) == 80.0
+        assert model.latency_ns(0.9, 0.0) > 100.0
+        assert model.idle_ns(0.0) == 100.0

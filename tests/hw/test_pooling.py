@@ -1,0 +1,112 @@
+"""Tests for the CXL 2.0 pooling extension (§7.1)."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.hw import CxlSwitch, MemoryPool, a1000_card
+from repro.hw.calibration import path_latency_model
+from repro.units import GIB
+
+
+def make_pool(n_devices=4, ports=16):
+    return MemoryPool(
+        devices=tuple(a1000_card() for _ in range(n_devices)),
+        switch=CxlSwitch(ports=ports),
+    )
+
+
+class TestSwitch:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CxlSwitch(ports=1)
+        with pytest.raises(ConfigurationError):
+            CxlSwitch(hop_latency_ns=-1)
+        with pytest.raises(ConfigurationError):
+            CxlSwitch(aggregate_bandwidth=0)
+
+
+class TestPoolAllocation:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryPool(devices=())
+
+    def test_capacity_accounting(self):
+        pool = make_pool(4)
+        assert pool.total_bytes == 4 * 256 * GIB
+        pool.allocate("host-a", 100 * GIB)
+        assert pool.free_bytes == pool.total_bytes - 100 * GIB
+        assert pool.bytes_of("host-a") == 100 * GIB
+
+    def test_allocation_spans_devices(self):
+        pool = make_pool(2)
+        slices = pool.allocate("host-a", 300 * GIB)  # > one 256 GiB device
+        assert len(slices) == 2
+        assert {s.device_index for s in slices} == {0, 1}
+        assert sum(s.bytes_allocated for s in slices) == 300 * GIB
+
+    def test_pool_exhaustion(self):
+        pool = make_pool(1)
+        with pytest.raises(CapacityError):
+            pool.allocate("host-a", 300 * GIB)
+        with pytest.raises(CapacityError):
+            pool.allocate("host-a", 0)
+
+    def test_port_limit_16_hosts(self):
+        """CXL 2.0: 'up to 16 different hosts' — one port is the pool's."""
+        pool = make_pool(4, ports=4)
+        pool.allocate("h1", GIB)
+        pool.allocate("h2", GIB)
+        pool.allocate("h3", GIB)
+        with pytest.raises(ConfigurationError):
+            pool.allocate("h4", GIB)
+        # An existing host can still grow.
+        pool.allocate("h1", GIB)
+        assert pool.bytes_of("h1") == 2 * GIB
+
+    def test_release_returns_capacity(self):
+        pool = make_pool(2)
+        pool.allocate("host-a", 300 * GIB)
+        freed = pool.release("host-a")
+        assert freed == 300 * GIB
+        assert pool.free_bytes == pool.total_bytes
+        assert "host-a" not in pool.hosts
+
+    def test_release_unknown_host_is_noop(self):
+        pool = make_pool(1)
+        assert pool.release("ghost") == 0
+
+
+class TestPooledLatency:
+    def test_one_hop_adds_switch_latency(self):
+        pool = make_pool(1)
+        direct = path_latency_model("cxl_local")
+        pooled = pool.latency_model(hops=1)
+        assert pooled.idle_ns(0.0) == pytest.approx(
+            direct.idle_ns(0.0) + pool.switch.hop_latency_ns
+        )
+
+    def test_multi_hop_scales(self):
+        pool = make_pool(1)
+        one = pool.latency_model(hops=1).idle_ns(0.0)
+        two = pool.latency_model(hops=2).idle_ns(0.0)
+        assert two - one == pytest.approx(pool.switch.hop_latency_ns)
+
+    def test_pooled_still_below_remote_socket_cxl(self):
+        """One-hop pooled CXL (~335 ns) beats the RSF-crippled remote
+        socket path (485 ns) — the §7.1 case for switched pooling."""
+        pool = make_pool(1)
+        pooled = pool.latency_model(hops=1).idle_ns(0.0)
+        remote = path_latency_model("cxl_remote").idle_ns(0.0)
+        assert pooled < remote
+
+    def test_hops_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_pool(1).latency_model(hops=0)
+
+    def test_resource_chain(self):
+        pool = make_pool(2)
+        (piece,) = pool.allocate("host-a", GIB)
+        chain = pool.resources_for(piece)
+        assert chain[0] == "pool/switch"
+        assert chain[1].startswith("pool/dev")
+        assert set(pool.resource_map()) >= set(chain)

@@ -1,0 +1,81 @@
+"""Tests for the CXL.mem protocol budget — and its consistency with the
+calibrated bandwidth curves."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hw.calibration import path_bandwidth_curve
+from repro.hw.protocol import CxlLinkBudget
+
+
+class TestLinkBudget:
+    def test_raw_rate_x16_gen5(self):
+        budget = CxlLinkBudget()
+        assert budget.raw_bytes_per_s_per_direction == pytest.approx(64e9)
+
+    def test_flit_framing_efficiency(self):
+        budget = CxlLinkBudget()
+        assert budget.link_efficiency == pytest.approx(64 / 68)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CxlLinkBudget(lanes=0)
+        with pytest.raises(ConfigurationError):
+            CxlLinkBudget(link_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            CxlLinkBudget().data_bandwidth(1.5)
+
+    def test_mixed_traffic_beats_unidirectional(self):
+        """§3.2: read-only cannot use both PCIe directions, so a mixed
+        stream delivers more data — derived, not assumed."""
+        budget = CxlLinkBudget()
+        assert budget.data_bandwidth(1 / 3) > budget.data_bandwidth(0.0)
+        assert budget.data_bandwidth(1 / 3) > budget.data_bandwidth(1.0)
+
+    def test_best_mix_is_interior(self):
+        best = CxlLinkBudget().best_mix()
+        assert 0.2 < best < 0.8
+
+    def test_read_only_efficiency_near_75_percent(self):
+        """Read-only moves ~72 B per 64 B of data after framing: ~78 %
+        of the raw line rate, bracketing the A1000's measured 73.6 %."""
+        eff = CxlLinkBudget().efficiency(0.0)
+        assert 0.70 <= eff <= 0.85
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bandwidth_positive_and_bounded(self, wf):
+        budget = CxlLinkBudget()
+        bw = budget.data_bandwidth(wf)
+        # Both directions together can never move more than 2x one
+        # direction's payload rate.
+        assert 0 < bw <= 2 * budget.payload_bytes_per_s_per_direction
+
+
+class TestCalibrationConsistency:
+    """The calibrated (measured) curves must respect protocol physics."""
+
+    @pytest.mark.parametrize("wf", [0.0, 1 / 3, 0.5, 2 / 3, 1.0])
+    def test_calibrated_cxl_curve_within_link_budget(self, wf):
+        budget = CxlLinkBudget()
+        measured = path_bandwidth_curve("cxl_local")(wf)
+        assert measured <= budget.data_bandwidth(wf) * 1.001
+
+    @pytest.mark.parametrize("wf", [0.0, 1 / 3, 1.0])
+    def test_calibrated_curve_within_dram_backend(self, wf):
+        """The device's two DDR5 channels are the other ceiling."""
+        dram_backend = path_bandwidth_curve("mmem_local")(wf)  # 2 channels
+        measured = path_bandwidth_curve("cxl_local")(wf)
+        assert measured <= dram_backend * 1.001
+
+    def test_controller_efficiency_grounds_the_gap(self):
+        """Measured peak / min(link, DRAM) = the ASIC controller's own
+        efficiency; it must be high (ASIC) but below 1."""
+        wf = 1 / 3
+        budget = CxlLinkBudget()
+        bound = min(
+            budget.data_bandwidth(wf), path_bandwidth_curve("mmem_local")(wf)
+        )
+        measured = path_bandwidth_curve("cxl_local")(wf)
+        assert 0.80 <= measured / bound <= 1.0

@@ -1,0 +1,80 @@
+"""Tests for the declarative hardware specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.spec import CpuSpec, CxlDeviceSpec, DimmSpec, NicSpec, ServerSpec, SsdSpec
+from repro.units import GIB
+
+
+class TestDimmSpec:
+    def test_channel_peak_ddr5_4800(self):
+        """DDR5-4800 x 8 bytes = 38.4 GB/s — the §3.1 theoretical figure."""
+        dimm = DimmSpec(speed_mt_s=4800)
+        assert dimm.channel_peak_bytes_per_s == pytest.approx(38.4e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DimmSpec(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            DimmSpec(speed_mt_s=0)
+
+
+class TestCpuSpec:
+    def test_channels_per_domain(self):
+        cpu = CpuSpec(memory_channels=8, snc_domains=4)
+        assert cpu.channels_per_domain == 2
+
+    def test_socket_memory(self):
+        cpu = CpuSpec(memory_channels=8, dimm=DimmSpec(capacity_bytes=64 * GIB))
+        assert cpu.socket_memory_bytes == 512 * GIB
+
+    def test_channels_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            CpuSpec(memory_channels=6, snc_domains=4)
+        with pytest.raises(ConfigurationError):
+            CpuSpec(cores=0)
+
+
+class TestCxlDeviceSpec:
+    def test_pcie_raw_rate_x16_gen5(self):
+        dev = CxlDeviceSpec(pcie_lanes=16, pcie_gts=32.0)
+        assert dev.pcie_raw_bytes_per_s == pytest.approx(64e9)
+
+    def test_lane_widths(self):
+        for lanes in (4, 8, 16):
+            CxlDeviceSpec(pcie_lanes=lanes)
+        with pytest.raises(ConfigurationError):
+            CxlDeviceSpec(pcie_lanes=2)
+        with pytest.raises(ConfigurationError):
+            CxlDeviceSpec(capacity_bytes=0)
+
+
+class TestSsdAndNic:
+    def test_ssd_validation(self):
+        with pytest.raises(ConfigurationError):
+            SsdSpec(capacity_bytes=0)
+        with pytest.raises(ConfigurationError):
+            SsdSpec(read_latency_ns=0)
+        with pytest.raises(ConfigurationError):
+            SsdSpec(read_bandwidth_bytes_per_s=0)
+
+    def test_nic_bytes(self):
+        nic = NicSpec(bandwidth_bits_per_s=100e9)
+        assert nic.bandwidth_bytes_per_s == pytest.approx(12.5e9)
+
+
+class TestServerSpec:
+    def test_totals(self):
+        spec = ServerSpec(
+            sockets=2,
+            cxl_devices=(CxlDeviceSpec(), CxlDeviceSpec()),
+        )
+        assert spec.total_cores == 2 * spec.cpu.cores
+        assert spec.total_memory_bytes == spec.total_mmem_bytes + 512 * GIB
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServerSpec(sockets=-1)
+        with pytest.raises(ConfigurationError):
+            ServerSpec(sockets=1, cxl_socket=1)

@@ -1,0 +1,72 @@
+"""Tests for the numactl-style policy helpers."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.hw import paper_baseline_platform, paper_cxl_platform
+from repro.mem import numactl
+from repro.mem.policy import BindPolicy, InterleavePolicy, WeightedInterleavePolicy
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return paper_cxl_platform(snc_enabled=False)
+
+
+class TestMembind:
+    def test_dram_bind(self, platform):
+        policy = numactl.membind(platform, socket=0)
+        assert isinstance(policy, BindPolicy)
+        dram_ids = {n.node_id for n in platform.dram_nodes(0)}
+        assert set(policy.nodes()) == dram_ids
+
+    def test_cxl_only_bind(self, platform):
+        policy = numactl.membind(platform, cxl_only=True)
+        cxl_ids = {n.node_id for n in platform.cxl_nodes()}
+        assert set(policy.nodes()) == cxl_ids
+
+    def test_cxl_only_requires_cxl(self):
+        with pytest.raises(PolicyError):
+            numactl.membind(paper_baseline_platform(), cxl_only=True)
+
+
+class TestInterleave:
+    def test_covers_both_tiers(self, platform):
+        policy = numactl.interleave(platform)
+        assert isinstance(policy, InterleavePolicy)
+        nodes = set(policy.nodes())
+        assert {n.node_id for n in platform.cxl_nodes()} <= nodes
+        assert {n.node_id for n in platform.dram_nodes()} <= nodes
+
+    def test_socket_restriction(self, platform):
+        policy = numactl.interleave(platform, socket=0)
+        dram1 = {n.node_id for n in platform.dram_nodes(1)}
+        assert not dram1 & set(policy.nodes())
+
+
+class TestTierInterleave:
+    def test_ratio_fractions(self, platform):
+        policy = numactl.tier_interleave(platform, 3, 1)
+        assert isinstance(policy, WeightedInterleavePolicy)
+        cxl_ids = [n.node_id for n in platform.cxl_nodes()]
+        cxl_share = sum(policy.fraction(n) for n in cxl_ids)
+        assert cxl_share == pytest.approx(0.25)
+
+    def test_requires_cxl(self):
+        with pytest.raises(PolicyError):
+            numactl.tier_interleave(paper_baseline_platform(), 3, 1)
+
+    def test_placement_honors_ratio(self, platform):
+        policy = numactl.tier_interleave(platform, 1, 3)
+        free = {n: 10_000 * PAGE_SIZE for n in platform.nodes}
+        cxl_ids = {n.node_id for n in platform.cxl_nodes()}
+        placements = [policy.place(free, PAGE_SIZE) for _ in range(400)]
+        on_cxl = sum(1 for p in placements if p in cxl_ids)
+        assert on_cxl == 300
+
+
+class TestHotPromoteInitial:
+    def test_is_even_interleave(self, platform):
+        policy = numactl.hot_promote_initial(platform)
+        assert isinstance(policy, InterleavePolicy)

@@ -1,0 +1,58 @@
+"""Tests for Page heat tracking."""
+
+import pytest
+
+from repro.mem import Page
+
+
+class TestPage:
+    def test_initial_state(self):
+        p = Page(0, node_id=3)
+        assert p.heat == 0.0
+        assert p.access_count == 0
+        assert p.heat_at(1e9) == 0.0
+        assert p.idle_ns(0.0) == float("inf")
+
+    def test_touch_accumulates_heat(self):
+        p = Page(0, 0)
+        p.touch(0.0)
+        p.touch(0.0)
+        assert p.heat == pytest.approx(2.0)
+        assert p.access_count == 2
+
+    def test_heat_decays_with_half_life(self):
+        p = Page(0, 0)
+        p.touch(0.0)
+        # One half-life later the stored heat halves, plus the new touch.
+        p.touch(Page.HEAT_HALF_LIFE)
+        assert p.heat == pytest.approx(1.5)
+
+    def test_heat_at_does_not_mutate(self):
+        p = Page(0, 0)
+        p.touch(0.0)
+        before = p.heat
+        assert p.heat_at(Page.HEAT_HALF_LIFE) == pytest.approx(0.5)
+        assert p.heat == before
+        assert p.access_count == 1
+
+    def test_write_counting(self):
+        p = Page(0, 0)
+        p.touch(0.0, is_write=True)
+        p.touch(1.0, is_write=False)
+        assert p.write_count == 1
+        assert p.access_count == 2
+
+    def test_hot_vs_cold_distinction(self):
+        """A page touched repeatedly stays hotter than one touched once —
+        the property every tiering daemon relies on."""
+        hot, cold = Page(0, 0), Page(1, 0)
+        for i in range(10):
+            hot.touch(i * 1e6)
+        cold.touch(0.0)
+        now = 10e6
+        assert hot.heat_at(now) > cold.heat_at(now) * 5
+
+    def test_idle_ns(self):
+        p = Page(0, 0)
+        p.touch(100.0)
+        assert p.idle_ns(600.0) == 500.0

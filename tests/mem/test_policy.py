@@ -1,0 +1,145 @@
+"""Tests for mempolicies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, PolicyError
+from repro.mem.policy import (
+    BindPolicy,
+    InterleavePolicy,
+    PreferredPolicy,
+    WeightedInterleavePolicy,
+)
+
+PAGE = 4096
+
+
+def free(**kwargs):
+    """free(n0=..., n1=...) -> {0: ..., 1: ...}"""
+    return {int(k[1:]): v for k, v in kwargs.items()}
+
+
+class TestBindPolicy:
+    def test_requires_nodes(self):
+        with pytest.raises(PolicyError):
+            BindPolicy([])
+
+    def test_fills_in_order(self):
+        p = BindPolicy([0, 1])
+        assert p.place(free(n0=PAGE * 2, n1=PAGE * 2), PAGE) == 0
+        assert p.place(free(n0=PAGE, n1=PAGE * 2), PAGE) == 0
+        assert p.place(free(n0=0, n1=PAGE * 2), PAGE) == 1
+
+    def test_raises_when_full(self):
+        p = BindPolicy([0])
+        with pytest.raises(AllocationError):
+            p.place(free(n0=PAGE - 1), PAGE)
+
+    def test_ignores_unbound_nodes(self):
+        p = BindPolicy([1])
+        with pytest.raises(AllocationError):
+            p.place(free(n0=PAGE * 100, n1=0), PAGE)
+
+
+class TestPreferredPolicy:
+    def test_preferred_then_fallback(self):
+        p = PreferredPolicy(preferred=0, fallbacks=[1])
+        assert p.place(free(n0=PAGE, n1=PAGE), PAGE) == 0
+        assert p.place(free(n0=0, n1=PAGE), PAGE) == 1
+
+    def test_raises_when_all_full(self):
+        p = PreferredPolicy(0, [1])
+        with pytest.raises(AllocationError):
+            p.place(free(n0=0, n1=0), PAGE)
+
+    def test_nodes(self):
+        assert PreferredPolicy(2, [0, 1]).nodes() == (2, 0, 1)
+
+
+class TestInterleavePolicy:
+    def test_requires_nodes(self):
+        with pytest.raises(PolicyError):
+            InterleavePolicy([])
+
+    def test_round_robin(self):
+        p = InterleavePolicy([0, 1])
+        f = free(n0=PAGE * 10, n1=PAGE * 10)
+        placements = [p.place(f, PAGE) for _ in range(6)]
+        assert placements == [0, 1, 0, 1, 0, 1]
+
+    def test_skips_full_node(self):
+        p = InterleavePolicy([0, 1])
+        f = free(n0=0, n1=PAGE * 10)
+        assert [p.place(f, PAGE) for _ in range(3)] == [1, 1, 1]
+
+    def test_raises_when_all_full(self):
+        p = InterleavePolicy([0, 1])
+        with pytest.raises(AllocationError):
+            p.place(free(n0=0, n1=0), PAGE)
+
+
+class TestWeightedInterleavePolicy:
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            WeightedInterleavePolicy({})
+        with pytest.raises(PolicyError):
+            WeightedInterleavePolicy({0: 0})
+        with pytest.raises(PolicyError):
+            WeightedInterleavePolicy({0: 1.5})
+
+    def test_from_ratio_validation(self):
+        with pytest.raises(PolicyError):
+            WeightedInterleavePolicy.from_ratio([0], [1], 0, 1)
+        with pytest.raises(PolicyError):
+            WeightedInterleavePolicy.from_ratio([], [1], 1, 1)
+
+    def test_3_1_ratio_gives_75_25_split(self):
+        """The paper's 3:1 configuration directs 75 % of pages to MMEM."""
+        p = WeightedInterleavePolicy.from_ratio([0], [1], 3, 1)
+        f = free(n0=PAGE * 10_000, n1=PAGE * 10_000)
+        placements = [p.place(f, PAGE) for _ in range(400)]
+        assert placements.count(0) == 300
+        assert placements.count(1) == 100
+
+    def test_smooth_distribution_not_bursty(self):
+        """Smooth WRR interleaves 'A A A B' rather than 'A*300 B*100'."""
+        p = WeightedInterleavePolicy.from_ratio([0], [1], 3, 1)
+        f = free(n0=PAGE * 1000, n1=PAGE * 1000)
+        window = [p.place(f, PAGE) for _ in range(8)]
+        assert window.count(1) == 2  # one CXL page per 4, in each half
+
+    def test_fraction(self):
+        p = WeightedInterleavePolicy.from_ratio([0], [1], 1, 3)
+        assert p.fraction(0) == pytest.approx(0.25)
+        assert p.fraction(1) == pytest.approx(0.75)
+        with pytest.raises(PolicyError):
+            p.fraction(9)
+
+    def test_multiple_nodes_per_tier(self):
+        """3:1 over two DRAM nodes and two CXL nodes: each DRAM node gets
+        37.5 %, each CXL node 12.5 %."""
+        p = WeightedInterleavePolicy.from_ratio([0, 1], [2, 3], 3, 1)
+        f = free(n0=PAGE * 10000, n1=PAGE * 10000, n2=PAGE * 10000, n3=PAGE * 10000)
+        placements = [p.place(f, PAGE) for _ in range(1600)]
+        assert placements.count(0) == placements.count(1) == 600
+        assert placements.count(2) == placements.count(3) == 200
+
+    def test_overflow_to_other_nodes_when_full(self):
+        p = WeightedInterleavePolicy.from_ratio([0], [1], 3, 1)
+        f = free(n0=0, n1=PAGE * 100)
+        assert all(p.place(f, PAGE) == 1 for _ in range(10))
+
+    def test_raises_when_all_full(self):
+        p = WeightedInterleavePolicy({0: 1, 1: 1})
+        with pytest.raises(AllocationError):
+            p.place(free(n0=0, n1=0), PAGE)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    def test_ratio_property(self, n, m):
+        """For any N:M, the share of pages on the top tier is N/(N+M)."""
+        p = WeightedInterleavePolicy.from_ratio([0], [1], n, m)
+        f = free(n0=PAGE * 100_000, n1=PAGE * 100_000)
+        rounds = (n + m) * 20
+        placements = [p.place(f, PAGE) for _ in range(rounds)]
+        assert placements.count(0) / rounds == pytest.approx(n / (n + m))

@@ -1,0 +1,47 @@
+"""Tests for the bandwidth monitor."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BandwidthMonitor
+from repro.sim.traffic import TrafficDemand, max_min_allocate
+
+
+def allocate(rates, capacity=10.0):
+    demands = [TrafficDemand(f"s{i}", ("r",), rate) for i, rate in enumerate(rates)]
+    return max_min_allocate(demands, {"r": capacity})
+
+
+class TestBandwidthMonitor:
+    def test_accumulates_series(self):
+        monitor = BandwidthMonitor()
+        monitor.observe(0.0, allocate([4.0]))
+        monitor.observe(10.0, allocate([8.0]))
+        assert monitor.peak_utilization("r") == pytest.approx(0.8)
+        assert list(monitor.resources()) == ["r"]
+        assert len(monitor.achieved["s0"]) == 2
+
+    def test_time_ordering_enforced(self):
+        monitor = BandwidthMonitor()
+        monitor.observe(10.0, allocate([1.0]))
+        with pytest.raises(SimulationError):
+            monitor.observe(5.0, allocate([1.0]))
+
+    def test_mean_utilization_time_weighted(self):
+        monitor = BandwidthMonitor()
+        monitor.observe(0.0, allocate([10.0]))   # u=1.0 for 1s
+        monitor.observe(1e9, allocate([0.0]))    # u=0.0 for 3s
+        monitor.observe(4e9, allocate([10.0]))   # terminal sample
+        assert monitor.mean_utilization("r") == pytest.approx(0.25)
+
+    def test_byte_accounting(self):
+        monitor = BandwidthMonitor()
+        monitor.observe(0.0, allocate([4.0]), interval_ns=1e9)
+        monitor.observe(1e9, allocate([4.0]), interval_ns=1e9)
+        assert monitor.total_bytes("s0") == pytest.approx(8.0)
+        assert monitor.total_bytes("ghost") == 0.0
+
+    def test_unobserved_resource_defaults(self):
+        monitor = BandwidthMonitor()
+        assert monitor.peak_utilization("nope") == 0.0
+        assert monitor.mean_utilization("nope") == 0.0

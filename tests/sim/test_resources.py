@@ -1,0 +1,146 @@
+"""Tests for Resource and TokenBucket."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, TokenBucket
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), 0)
+
+    def test_grant_when_available(self):
+        sim = Simulator()
+        res = Resource(sim, 2)
+        ev = res.request()
+        assert ev.triggered
+        assert res.available == 1
+
+    def test_queueing_and_fifo_handoff(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        order = []
+
+        def worker(name, hold_ns):
+            grant = res.request()
+            yield grant
+            order.append((sim.now, name, "start"))
+            yield sim.timeout(hold_ns)
+            res.release()
+            order.append((sim.now, name, "end"))
+
+        sim.process(worker("a", 10.0))
+        sim.process(worker("b", 10.0))
+        sim.process(worker("c", 10.0))
+        sim.run()
+        starts = [(t, n) for t, n, kind in order if kind == "start"]
+        assert starts == [(0.0, "a"), (10.0, "b"), (20.0, "c")]
+
+    def test_release_without_request_raises(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_queue_length(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.queue_length == 2
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            TokenBucket(sim, rate_per_ns=-1.0, burst=1.0)
+        with pytest.raises(SimulationError):
+            TokenBucket(sim, rate_per_ns=1.0, burst=0.0)
+
+    def test_starts_full(self):
+        sim = Simulator()
+        tb = TokenBucket(sim, rate_per_ns=1.0, burst=10.0)
+        assert tb.tokens == 10.0
+        assert tb.try_take(10.0)
+        assert not tb.try_take(0.1)
+
+    def test_refills_with_simulated_time(self):
+        sim = Simulator()
+        tb = TokenBucket(sim, rate_per_ns=2.0, burst=100.0)
+        assert tb.try_take(100.0)
+
+        def advance():
+            yield sim.timeout(25.0)
+
+        sim.process(advance())
+        sim.run()
+        # 25 ns at 2 tokens/ns = 50 tokens.
+        assert tb.tokens == pytest.approx(50.0)
+
+    def test_never_exceeds_burst(self):
+        sim = Simulator()
+        tb = TokenBucket(sim, rate_per_ns=1000.0, burst=5.0)
+
+        def advance():
+            yield sim.timeout(1000.0)
+
+        sim.process(advance())
+        sim.run()
+        assert tb.tokens == 5.0
+
+    def test_negative_take_rejected(self):
+        sim = Simulator()
+        tb = TokenBucket(sim, rate_per_ns=1.0, burst=1.0)
+        with pytest.raises(SimulationError):
+            tb.try_take(-1.0)
+
+    def test_set_rate(self):
+        sim = Simulator()
+        tb = TokenBucket(sim, rate_per_ns=1.0, burst=10.0)
+        tb.try_take(10.0)
+        tb.set_rate(5.0)
+
+        def advance():
+            yield sim.timeout(1.0)
+
+        sim.process(advance())
+        sim.run()
+        assert tb.tokens == pytest.approx(5.0)
+        with pytest.raises(SimulationError):
+            tb.set_rate(-1.0)
+
+
+class TestRngFactory:
+    def test_same_seed_same_stream(self):
+        from repro.sim import RngFactory
+
+        a = RngFactory(seed=7).stream("ycsb")
+        b = RngFactory(seed=7).stream("ycsb")
+        assert list(a.integers(0, 100, 10)) == list(b.integers(0, 100, 10))
+
+    def test_different_names_are_independent(self):
+        from repro.sim import RngFactory
+
+        f = RngFactory(seed=7)
+        a = list(f.stream("a").integers(0, 1_000_000, 20))
+        b = list(f.stream("b").integers(0, 1_000_000, 20))
+        assert a != b
+
+    def test_stream_is_cached(self):
+        from repro.sim import RngFactory
+
+        f = RngFactory(seed=7)
+        assert f.stream("x") is f.stream("x")
+
+    def test_fork_changes_streams(self):
+        from repro.sim import RngFactory
+
+        f = RngFactory(seed=7)
+        g = f.fork(1)
+        assert list(f.stream("x").integers(0, 1000, 10)) != list(
+            g.stream("x").integers(0, 1000, 10)
+        )

@@ -1,0 +1,188 @@
+"""Tests for statistics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, LatencyHistogram, RunningStat, TimeSeries
+
+
+class TestRunningStat:
+    def test_empty(self):
+        s = RunningStat()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_known_values(self):
+        s = RunningStat()
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            s.record(v)
+        assert s.mean == pytest.approx(5.0)
+        assert s.stddev == pytest.approx(2.0)
+        assert s.min == 2.0
+        assert s.max == 9.0
+
+    def test_merge_matches_single_stream(self):
+        a, b, combined = RunningStat(), RunningStat(), RunningStat()
+        data_a = [1.0, 2.0, 3.0]
+        data_b = [10.0, 20.0]
+        for v in data_a:
+            a.record(v)
+            combined.record(v)
+        for v in data_b:
+            b.record(v)
+            combined.record(v)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.min == combined.min
+        assert a.max == combined.max
+
+    def test_merge_empty_is_noop(self):
+        a = RunningStat()
+        a.record(5.0)
+        a.merge(RunningStat())
+        assert a.count == 1 and a.mean == 5.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_mean_matches_numpy_property(self, values):
+        s = RunningStat()
+        for v in values:
+            s.record(v)
+        assert s.mean == pytest.approx(sum(values) / len(values), rel=1e-9, abs=1e-6)
+
+
+class TestLatencyHistogram:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_value=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+
+    def test_percentile_bounds_error(self):
+        h = LatencyHistogram()
+        h.record(100.0)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(50) == 0.0
+
+    def test_percentile_relative_error_bound(self):
+        h = LatencyHistogram(min_value=1.0, growth=1.02)
+        values = [float(v) for v in range(1, 1001)]
+        for v in values:
+            h.record(v)
+        for p in (50, 90, 99):
+            exact = values[int(math.ceil(len(values) * p / 100)) - 1]
+            assert h.percentile(p) == pytest.approx(exact, rel=0.03)
+
+    def test_mean_is_exact(self):
+        h = LatencyHistogram()
+        for v in (100.0, 200.0, 300.0):
+            h.record(v)
+        assert h.mean == pytest.approx(200.0)
+        assert h.min == 100.0
+        assert h.max == 300.0
+
+    def test_record_with_count(self):
+        h = LatencyHistogram()
+        h.record(50.0, count=10)
+        assert h.count == 10
+        with pytest.raises(ValueError):
+            h.record(50.0, count=0)
+
+    def test_cdf_monotone_and_complete(self):
+        h = LatencyHistogram()
+        for v in (10.0, 20.0, 30.0, 40.0, 1000.0):
+            h.record(v)
+        cdf = h.cdf()
+        fractions = [p.fraction for p in cdf]
+        values = [p.value for p in cdf]
+        assert fractions == sorted(fractions)
+        assert values == sorted(values)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(100.0)
+        b.record(300.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(200.0)
+
+    def test_merge_incompatible_bucketing_raises(self):
+        a = LatencyHistogram(growth=1.02)
+        b = LatencyHistogram(growth=1.05)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e7), min_size=1, max_size=300),
+        st.sampled_from([50.0, 90.0, 99.0]),
+    )
+    def test_percentile_within_growth_bound_property(self, values, p):
+        h = LatencyHistogram(min_value=1.0, growth=1.02)
+        for v in values:
+            h.record(v)
+        exact = sorted(values)[int(math.ceil(len(values) * p / 100)) - 1]
+        # Bucketing error is bounded by one growth step either side.
+        assert h.percentile(p) <= exact * 1.021
+        assert h.percentile(p) >= exact / 1.021
+
+
+class TestTimeSeries:
+    def test_record_and_last(self):
+        ts = TimeSeries(name="bw")
+        ts.record(0.0, 10.0)
+        ts.record(1.0, 20.0)
+        assert len(ts) == 2
+        assert ts.last() == (1.0, 20.0)
+        assert ts.peak() == 20.0
+
+    def test_times_must_be_monotone(self):
+        ts = TimeSeries()
+        ts.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.record(4.0, 1.0)
+
+    def test_time_weighted_mean(self):
+        ts = TimeSeries()
+        ts.record(0.0, 10.0)  # holds for 1s
+        ts.record(1.0, 0.0)  # holds for 3s
+        ts.record(4.0, 99.0)  # terminal sample, zero weight
+        assert ts.time_weighted_mean() == pytest.approx((10.0 * 1 + 0.0 * 3) / 4)
+
+    def test_time_weighted_mean_degenerate_cases(self):
+        ts = TimeSeries()
+        assert ts.time_weighted_mean() == 0.0
+        ts.record(1.0, 5.0)
+        assert ts.time_weighted_mean() == 5.0
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("promotions")
+        c.add("promotions", 2)
+        assert c.get("promotions") == 3
+        assert c.get("missing") == 0
+
+    def test_negative_rejected(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.add("x", -1)
+
+    def test_as_dict_is_snapshot(self):
+        c = Counter()
+        c.add("a")
+        snap = c.as_dict()
+        c.add("a")
+        assert snap == {"a": 1.0}
+        assert c.get("a") == 2.0

@@ -1,0 +1,141 @@
+"""Tests for max-min fair bandwidth allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.traffic import TrafficDemand, max_min_allocate
+
+
+def demand(source, resources, rate, wf=0.0):
+    return TrafficDemand(source=source, resources=tuple(resources), rate=rate, write_fraction=wf)
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            demand("a", ["r"], -1.0)
+
+    def test_bad_write_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            demand("a", ["r"], 1.0, wf=1.5)
+
+    def test_empty_resources_rejected(self):
+        with pytest.raises(SimulationError):
+            demand("a", [], 1.0)
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_allocate([demand("a", ["missing"], 1.0)], {"r": 10.0})
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_allocate([demand("a", ["r"], 1.0)], {"r": 0.0})
+
+    def test_unbounded_unconstrained_demand_raises(self):
+        # inf demand must cross at least one capacity-bearing resource --
+        # here it does, so this allocates fine and saturates.
+        res = max_min_allocate([demand("a", ["r"], float("inf"))], {"r": 5.0})
+        assert res.achieved["a"] == pytest.approx(5.0)
+
+
+class TestAllocation:
+    def test_single_demand_under_capacity(self):
+        res = max_min_allocate([demand("a", ["r"], 4.0)], {"r": 10.0})
+        assert res.achieved["a"] == pytest.approx(4.0)
+        assert res.utilization["r"] == pytest.approx(0.4)
+
+    def test_equal_split_when_oversubscribed(self):
+        demands = [demand(i, ["r"], 10.0) for i in range(4)]
+        res = max_min_allocate(demands, {"r": 20.0})
+        for i in range(4):
+            assert res.achieved[i] == pytest.approx(5.0)
+        assert res.utilization["r"] == pytest.approx(1.0)
+
+    def test_max_min_protects_small_demands(self):
+        demands = [demand("small", ["r"], 2.0), demand("big", ["r"], 100.0)]
+        res = max_min_allocate(demands, {"r": 10.0})
+        assert res.achieved["small"] == pytest.approx(2.0)
+        assert res.achieved["big"] == pytest.approx(8.0)
+
+    def test_multi_resource_bottleneck(self):
+        # Flow a crosses link+device, flow b only device.  Link is tight.
+        demands = [demand("a", ["link", "dev"], 100.0), demand("b", ["dev"], 100.0)]
+        res = max_min_allocate(demands, {"link": 5.0, "dev": 50.0})
+        assert res.achieved["a"] == pytest.approx(5.0)
+        assert res.achieved["b"] == pytest.approx(45.0)
+        assert res.utilization["link"] == pytest.approx(1.0)
+        assert res.utilization["dev"] == pytest.approx(1.0)
+
+    def test_freed_capacity_goes_to_unconstrained_flows(self):
+        demands = [
+            demand("a", ["r"], 1.0),
+            demand("b", ["r"], float("inf")),
+        ]
+        res = max_min_allocate(demands, {"r": 10.0})
+        assert res.achieved["a"] == pytest.approx(1.0)
+        assert res.achieved["b"] == pytest.approx(9.0)
+
+    def test_zero_rate_demand(self):
+        res = max_min_allocate([demand("a", ["r"], 0.0)], {"r": 10.0})
+        assert res.achieved["a"] == 0.0
+        assert res.utilization["r"] == 0.0
+
+    def test_write_fraction_aggregation(self):
+        demands = [
+            demand("reader", ["r"], 4.0, wf=0.0),
+            demand("writer", ["r"], 4.0, wf=1.0),
+        ]
+        res = max_min_allocate(demands, {"r": 100.0})
+        assert res.write_fraction["r"] == pytest.approx(0.5)
+
+    def test_bottleneck_helper(self):
+        res = max_min_allocate(
+            [demand("a", ["x", "y"], 10.0)], {"x": 10.0, "y": 40.0}
+        )
+        assert res.bottleneck(("x", "y")) == pytest.approx(1.0)
+        assert res.bottleneck(("y",)) == pytest.approx(0.25)
+        assert res.bottleneck(()) == 0.0
+
+
+class TestMaxMinProperties:
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=10),
+        st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_never_exceeds_capacity_or_request(self, rates, capacity):
+        demands = [demand(i, ["r"], r) for i, r in enumerate(rates)]
+        res = max_min_allocate(demands, {"r": capacity})
+        total = sum(res.achieved.values())
+        assert total <= capacity * (1 + 1e-6)
+        for i, r in enumerate(rates):
+            assert res.achieved[i] <= r + 1e-6
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=10),
+        st.floats(min_value=1.0, max_value=200.0),
+    )
+    def test_work_conserving(self, rates, capacity):
+        """Either every demand is satisfied or the resource is saturated."""
+        demands = [demand(i, ["r"], r) for i, r in enumerate(rates)]
+        res = max_min_allocate(demands, {"r": capacity})
+        total = sum(res.achieved.values())
+        all_satisfied = all(
+            res.achieved[i] == pytest.approx(rates[i], rel=1e-6) for i in range(len(rates))
+        )
+        assert all_satisfied or total == pytest.approx(min(capacity, sum(rates)), rel=1e-6)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=8),
+    )
+    def test_fairness_smaller_request_never_gets_less(self, rates):
+        """If request_i <= request_j then alloc_i <= alloc_j is not required,
+        but alloc_i >= min(request_i, alloc_j): nobody with a smaller request
+        is starved below another flow's share."""
+        demands = [demand(i, ["r"], r) for i, r in enumerate(rates)]
+        res = max_min_allocate(demands, {"r": 50.0})
+        for i, ri in enumerate(rates):
+            for j, rj in enumerate(rates):
+                if ri <= rj:
+                    assert res.achieved[i] >= min(ri, res.achieved[j]) - 1e-6

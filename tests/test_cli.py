@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_cost_defaults_are_paper_example(self):
+        args = build_parser().parse_args(["cost"])
+        assert (args.r_d, args.r_c, args.c, args.r_t) == (10.0, 8.0, 2.0, 1.1)
+
+
+class TestCommands:
+    def test_cost_prints_paper_numbers(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "67.29%" in out
+        assert "25.98%" in out
+
+    def test_cost_custom_parameters(self, capsys):
+        assert main(["cost", "--r-d", "5", "--r-c", "4", "--c", "1", "--r-t", "1.0"]) == 0
+        assert "TCO saving" in capsys.readouterr().out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 2", "Table 3", "Table 4", "hot-promote"):
+            assert marker in out
+
+    def test_fig3_quick(self, capsys):
+        assert main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[mmem]" in out and "[cxl-r]" in out
+
+    def test_fig4_quick(self, capsys):
+        assert main(["fig4", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "[sequential]" in out and "[random]" in out
+
+    def test_fig8_quick(self, capsys):
+        assert main(["fig8", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput drop" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "tokens/s" in out and "Fig. 10(b)" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--demand-gbps", "55", "--locality", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "tiering-thrash-risk" in out
+        assert "interleave-offload" in out
+
+    def test_advise_low_demand(self, capsys):
+        assert main(["advise", "--demand-gbps", "5"]) == 0
+        assert "dram-only-ok" in capsys.readouterr().out

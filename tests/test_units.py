@@ -1,0 +1,73 @@
+"""Tests for unit conversion helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestSizes:
+    def test_binary_multipliers(self):
+        assert units.KiB(1) == 1024
+        assert units.MiB(1) == 1024**2
+        assert units.GiB(1) == 1024**3
+        assert units.TiB(1) == 1024**4
+
+    def test_decimal_multipliers(self):
+        assert units.kb(1) == 1000
+        assert units.mb(1) == 10**6
+        assert units.gb(1) == 10**9
+        assert units.tb(1) == 10**12
+
+    def test_fractional_sizes_truncate_to_bytes(self):
+        assert units.GiB(0.5) == 512 * 1024**2
+        assert isinstance(units.GiB(0.5), int)
+
+    def test_page_and_cacheline(self):
+        assert units.PAGE_SIZE == 4096
+        assert units.CACHELINE_SIZE == 64
+
+
+class TestTime:
+    def test_time_conversions_roundtrip(self):
+        assert units.us(1) == 1_000
+        assert units.ms(1) == 1_000_000
+        assert units.seconds(1) == 1_000_000_000
+        assert units.ns_to_us(units.us(3.5)) == pytest.approx(3.5)
+        assert units.ns_to_ms(units.ms(2)) == pytest.approx(2)
+        assert units.ns_to_s(units.seconds(7)) == pytest.approx(7)
+
+    @given(st.floats(min_value=1e-3, max_value=1e12, allow_nan=False))
+    def test_seconds_roundtrip_property(self, t):
+        assert units.ns_to_s(units.seconds(t)) == pytest.approx(t, rel=1e-12)
+
+
+class TestBandwidth:
+    def test_gb_per_s_roundtrip(self):
+        assert units.to_gb_per_s(units.gb_per_s(67.0)) == pytest.approx(67.0)
+
+    def test_bytes_per_ns(self):
+        # 1 GB/s is one byte per nanosecond.
+        assert units.bytes_per_ns(units.gb_per_s(1.0)) == pytest.approx(1.0)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert units.format_bytes(2 * 1024**3) == "2.00 GiB"
+        assert units.format_bytes(512) == "512 B"
+        assert units.format_bytes(-1024**2) == "-1.00 MiB"
+
+    def test_format_bandwidth_matches_paper_convention(self):
+        assert units.format_bandwidth(67e9) == "67.00 GB/s"
+
+    def test_format_time_selects_unit(self):
+        assert units.format_time_ns(250.42) == "250.4 ns"
+        assert units.format_time_ns(1500) == "1.500 us"
+        assert units.format_time_ns(2.5e6) == "2.500 ms"
+        assert units.format_time_ns(2.5e9) == "2.500 s"
+
+    def test_format_time_handles_nonfinite(self):
+        assert units.format_time_ns(math.inf) == "inf"

@@ -1,0 +1,113 @@
+"""Tests for key distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    LatestChooser,
+    ScrambledZipfianChooser,
+    UniformChooser,
+    ZipfianChooser,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestUniform:
+    def test_keys_in_range(self, rng):
+        c = UniformChooser(100)
+        keys = [c.next_key(rng) for _ in range(1000)]
+        assert all(0 <= k < 100 for k in keys)
+
+    def test_roughly_uniform(self, rng):
+        c = UniformChooser(10)
+        counts = np.bincount([c.next_key(rng) for _ in range(10_000)], minlength=10)
+        assert counts.min() > 800 and counts.max() < 1200
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            UniformChooser(0)
+
+    def test_grow(self, rng):
+        c = UniformChooser(10)
+        c.grow(20)
+        assert c.item_count == 20
+        with pytest.raises(WorkloadError):
+            c.grow(5)
+
+
+class TestZipfian:
+    def test_keys_in_range(self, rng):
+        c = ZipfianChooser(1000)
+        keys = [c.next_key(rng) for _ in range(5000)]
+        assert all(0 <= k < 1000 for k in keys)
+
+    def test_skew_low_keys_dominate(self, rng):
+        c = ZipfianChooser(10_000)
+        keys = [c.next_key(rng) for _ in range(20_000)]
+        head = sum(1 for k in keys if k < 100)  # top 1 % of key space
+        assert head / len(keys) > 0.3  # zipf(0.99): head gets most traffic
+
+    def test_theta_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfianChooser(10, theta=1.0)
+        with pytest.raises(WorkloadError):
+            ZipfianChooser(10, theta=0.0)
+
+    def test_large_keyspace_constructs_fast(self):
+        # Euler-Maclaurin path: must not iterate 50M terms.
+        c = ZipfianChooser(50_000_000)
+        assert c.zetan > 0
+
+    def test_zeta_approximation_accuracy(self):
+        exact = ZipfianChooser(10_000)  # exact summation path
+        # Compare against brute force at the boundary.
+        brute = sum(1.0 / i**0.99 for i in range(1, 10_001))
+        assert exact.zetan == pytest.approx(brute, rel=1e-9)
+
+    def test_grow_recomputes(self, rng):
+        c = ZipfianChooser(100)
+        z_before = c.zetan
+        c.grow(1000)
+        assert c.zetan > z_before
+
+
+class TestScrambledZipfian:
+    def test_hot_keys_scattered(self, rng):
+        """Scrambling must spread the hot set across the key space."""
+        c = ScrambledZipfianChooser(100_000)
+        keys = [c.next_key(rng) for _ in range(20_000)]
+        # Hot keys should not be concentrated in the low ids.
+        head = sum(1 for k in keys if k < 1000)
+        assert head / len(keys) < 0.1
+
+    def test_still_skewed(self, rng):
+        """Scrambling preserves the popularity skew itself."""
+        c = ScrambledZipfianChooser(100_000)
+        keys = [c.next_key(rng) for _ in range(30_000)]
+        values, counts = np.unique(keys, return_counts=True)
+        # The most popular single key receives far more than uniform share.
+        assert counts.max() > 30_000 / 100_000 * 50
+
+    def test_deterministic_scramble(self):
+        assert ScrambledZipfianChooser._fnv_hash(12345) == ScrambledZipfianChooser._fnv_hash(12345)
+
+
+class TestLatest:
+    def test_newest_keys_hottest(self, rng):
+        c = LatestChooser(10_000)
+        keys = [c.next_key(rng) for _ in range(10_000)]
+        newest = sum(1 for k in keys if k >= 9_900)  # newest 1 %
+        assert newest / len(keys) > 0.3
+
+    def test_grow_shifts_hot_set(self, rng):
+        c = LatestChooser(100)
+        c.grow(200)
+        keys = [c.next_key(rng) for _ in range(2000)]
+        assert all(0 <= k < 200 for k in keys)
+        newest = sum(1 for k in keys if k >= 190)
+        assert newest / len(keys) > 0.2

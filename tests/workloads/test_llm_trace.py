@@ -1,0 +1,61 @@
+"""Tests for the chat-request trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import ChatRequest, chat_trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestChatRequest:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ChatRequest(prompt_tokens=0, max_new_tokens=10)
+        with pytest.raises(WorkloadError):
+            ChatRequest(prompt_tokens=10, max_new_tokens=0)
+
+    def test_total_tokens(self):
+        assert ChatRequest(100, 28).total_tokens == 128
+
+
+class TestChatTrace:
+    def test_count(self, rng):
+        assert len(list(chat_trace(rng, 25))) == 25
+
+    def test_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            list(chat_trace(rng, 0))
+        with pytest.raises(WorkloadError):
+            list(chat_trace(rng, 5, prompt_context_bytes=0))
+        with pytest.raises(WorkloadError):
+            list(chat_trace(rng, 5, mean_new_tokens=0))
+
+    def test_prompt_centered_on_context(self, rng):
+        """§5.1: 'the prompt context is set to 2048 bytes' — prompts vary
+        around 2048/4 = 512 tokens."""
+        prompts = [r.prompt_tokens for r in chat_trace(rng, 3000)]
+        mean = float(np.mean(prompts))
+        assert 450 <= mean <= 650
+
+    def test_output_long_tail(self, rng):
+        """Chat responses: many short, a long tail."""
+        outs = np.array([r.max_new_tokens for r in chat_trace(rng, 3000)])
+        assert np.median(outs) < np.mean(outs)
+        assert outs.min() >= 8
+
+    def test_deterministic_with_seed(self):
+        a = [(r.prompt_tokens, r.max_new_tokens)
+             for r in chat_trace(np.random.default_rng(1), 50)]
+        b = [(r.prompt_tokens, r.max_new_tokens)
+             for r in chat_trace(np.random.default_rng(1), 50)]
+        assert a == b
+
+    def test_custom_context(self, rng):
+        prompts = [r.prompt_tokens for r in chat_trace(
+            rng, 1000, prompt_context_bytes=8192)]
+        assert 1800 <= float(np.mean(prompts)) <= 2400

@@ -1,0 +1,85 @@
+"""Tests for the TPC-H query profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import gb, tb
+from repro.workloads import PAPER_QUERY_NAMES, QueryProfile, QueryStage, paper_queries
+
+
+class TestQueryStage:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QueryStage("s", input_bytes=-1, shuffle_bytes=0, cpu_ns_per_byte=1.0)
+        with pytest.raises(WorkloadError):
+            QueryStage("s", input_bytes=1, shuffle_bytes=-1, cpu_ns_per_byte=1.0)
+        with pytest.raises(WorkloadError):
+            QueryStage("s", input_bytes=1, shuffle_bytes=0, cpu_ns_per_byte=-1.0)
+        with pytest.raises(WorkloadError):
+            QueryStage("s", 1, 0, 1.0, rand_per_byte=-0.1)
+
+
+class TestQueryProfile:
+    def test_needs_stages(self):
+        with pytest.raises(WorkloadError):
+            QueryProfile("empty", ())
+
+    def test_totals(self):
+        p = QueryProfile(
+            "q",
+            (
+                QueryStage("s0", 100, 40, 1.0),
+                QueryStage("s1", 40, 10, 1.0),
+            ),
+        )
+        assert p.total_input_bytes == 140
+        assert p.total_shuffle_bytes == 50
+        assert p.shuffle_intensity == pytest.approx(50 / 140)
+
+
+class TestPaperQueries:
+    def test_all_four_queries(self):
+        queries = paper_queries()
+        assert set(queries) == set(PAPER_QUERY_NAMES)
+
+    def test_scales_with_dataset(self):
+        small = paper_queries(tb(1))
+        big = paper_queries(tb(7))
+        for q in PAPER_QUERY_NAMES:
+            ratio = big[q].total_input_bytes / small[q].total_input_bytes
+            assert ratio == pytest.approx(7.0, rel=0.001)
+
+    def test_dataset_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            paper_queries(0)
+
+    def test_q9_is_heaviest(self):
+        """Q9 joins nearly everything: most input, most shuffle, most
+        latency-sensitive — the paper's worst case."""
+        queries = paper_queries()
+        q9 = queries["Q9"]
+        for name in ("Q5", "Q7", "Q8"):
+            assert q9.total_input_bytes > queries[name].total_input_bytes
+            assert q9.total_shuffle_bytes > queries[name].total_shuffle_bytes
+            assert q9.stages[0].rand_per_byte > queries[name].stages[0].rand_per_byte
+
+    def test_latency_sensitivity_ordering(self):
+        """Q5 < Q7 < Q8 < Q9 in join-probe density, spreading the
+        Fig. 7(a) interleave slowdowns."""
+        queries = paper_queries()
+        rands = [queries[q].stages[0].rand_per_byte for q in ("Q5", "Q7", "Q8", "Q9")]
+        assert rands == sorted(rands)
+
+    def test_major_stages_sized_for_spill_experiment(self):
+        """At 7 TB, every query's largest shuffle must fit the full
+        cluster (600 GB shuffle capacity) but exceed the 80 %-restricted
+        one (480 GB) — the §4.2.1 spill construction."""
+        for profile in paper_queries(tb(7)).values():
+            biggest = max(s.shuffle_bytes for s in profile.stages)
+            assert gb(480) < biggest < gb(615)
+
+    def test_stage_pipeline_shrinks(self):
+        """Each stage consumes the previous shuffle: inputs decrease."""
+        for profile in paper_queries().values():
+            inputs = [s.input_bytes for s in profile.stages]
+            assert inputs == sorted(inputs, reverse=True)

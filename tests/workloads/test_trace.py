@@ -1,0 +1,105 @@
+"""Tests for page-trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PageTrace,
+    graph_walk_trace,
+    sequential_trace,
+    strided_trace,
+    uniform_trace,
+    zipfian_trace,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestPageTrace:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            PageTrace(np.array([0]), np.array([False]), page_count=0)
+        with pytest.raises(WorkloadError):
+            PageTrace(np.array([5]), np.array([False]), page_count=3)
+        with pytest.raises(WorkloadError):
+            PageTrace(np.array([], dtype=np.int64), np.array([], dtype=bool), 10)
+        with pytest.raises(WorkloadError):
+            PageTrace(np.array([0, 1]), np.array([False]), 10)
+
+    def test_metrics(self):
+        trace = PageTrace(
+            np.array([0, 0, 1, 2]), np.array([False, True, False, False]), 10
+        )
+        assert len(trace) == 4
+        assert trace.write_fraction == pytest.approx(0.25)
+        assert trace.footprint_pages == 3
+        assert trace.reuse_factor() == pytest.approx(4 / 3)
+
+    def test_concat(self, rng):
+        a = sequential_trace(100, 50)
+        b = uniform_trace(100, 50, rng=rng)
+        combined = a.concat(b)
+        assert len(combined) == 100
+        with pytest.raises(WorkloadError):
+            a.concat(uniform_trace(200, 10, rng=rng))
+
+    def test_interleave(self, rng):
+        a = sequential_trace(100, 40)
+        b = uniform_trace(100, 40, rng=rng)
+        merged = a.interleave(b)
+        assert len(merged) == 80
+        assert list(merged.pages[0:4:2]) == list(a.pages[:2])
+
+
+class TestGenerators:
+    def test_sequential_wraps(self):
+        trace = sequential_trace(10, 25)
+        assert list(trace.pages[:12]) == list(range(10)) + [0, 1]
+        assert trace.footprint_pages == 10
+
+    def test_strided(self):
+        trace = strided_trace(100, 10, stride=7)
+        assert list(trace.pages[:3]) == [0, 7, 14]
+        with pytest.raises(WorkloadError):
+            strided_trace(100, 10, stride=0)
+
+    def test_uniform_covers_space(self, rng):
+        trace = uniform_trace(50, 5000, rng=rng)
+        assert trace.footprint_pages == 50
+
+    def test_zipfian_skew(self, rng):
+        trace = zipfian_trace(10_000, 20_000, rng=rng)
+        # High reuse on a small hot set: reuse factor far above uniform.
+        uniform = uniform_trace(10_000, 20_000, rng=rng)
+        counts = np.bincount(trace.pages, minlength=10_000)
+        ucounts = np.bincount(uniform.pages, minlength=10_000)
+        assert counts.max() > ucounts.max() * 5
+
+    def test_graph_walk_locality(self, rng):
+        trace = graph_walk_trace(10_000, 5000, rng=rng, neighborhood=32)
+        # Mostly local steps: consecutive accesses are usually close.
+        deltas = np.abs(np.diff(trace.pages.astype(np.int64)))
+        wrapped = np.minimum(deltas, 10_000 - deltas)
+        assert np.median(wrapped) <= 32
+
+    def test_graph_walk_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            graph_walk_trace(100, 10, jump_probability=1.5, rng=rng)
+        with pytest.raises(WorkloadError):
+            graph_walk_trace(100, 10, neighborhood=0, rng=rng)
+
+    def test_write_fraction_respected(self, rng):
+        trace = uniform_trace(100, 10_000, write_fraction=0.3, rng=rng)
+        assert trace.write_fraction == pytest.approx(0.3, abs=0.03)
+        with pytest.raises(WorkloadError):
+            uniform_trace(100, 10, write_fraction=1.5, rng=rng)
+
+    def test_deterministic(self):
+        a = zipfian_trace(1000, 500, rng=np.random.default_rng(3))
+        b = zipfian_trace(1000, 500, rng=np.random.default_rng(3))
+        assert np.array_equal(a.pages, b.pages)
+        assert np.array_equal(a.writes, b.writes)

@@ -1,0 +1,98 @@
+"""Tests for the YCSB generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.units import KIB
+from repro.workloads import WORKLOADS, OpType, YcsbGenerator, YcsbSpec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestSpecs:
+    def test_paper_workloads_registered(self):
+        assert set(WORKLOADS) == {"A", "B", "C", "D"}
+
+    def test_workload_a_mix(self):
+        spec = WORKLOADS["A"]
+        assert spec.read_fraction == 0.5
+        assert spec.update_fraction == 0.5
+        assert spec.write_fraction == 0.5
+        assert spec.distribution == "zipfian"
+
+    def test_workload_c_read_only(self):
+        assert WORKLOADS["C"].write_fraction == 0.0
+
+    def test_workload_d_latest_inserts(self):
+        spec = WORKLOADS["D"]
+        assert spec.insert_fraction == 0.05
+        assert spec.distribution == "latest"
+
+    def test_default_value_size_is_1kb(self):
+        assert WORKLOADS["A"].value_size == KIB
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(WorkloadError):
+            YcsbSpec("bad", read_fraction=0.5, update_fraction=0.2)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(WorkloadError):
+            YcsbSpec("bad", read_fraction=1.0, distribution="gaussian")
+
+    def test_bad_value_size(self):
+        with pytest.raises(WorkloadError):
+            YcsbSpec("bad", read_fraction=1.0, value_size=0)
+
+
+class TestGenerator:
+    def test_record_count_validation(self, rng):
+        with pytest.raises(WorkloadError):
+            YcsbGenerator(WORKLOADS["A"], 0, rng)
+
+    def test_mix_fractions_observed(self, rng):
+        gen = YcsbGenerator(WORKLOADS["A"], 10_000, rng)
+        ops = list(gen.operations(10_000))
+        reads = sum(1 for o in ops if o.op is OpType.READ)
+        assert reads / len(ops) == pytest.approx(0.5, abs=0.03)
+
+    def test_workload_c_all_reads(self, rng):
+        gen = YcsbGenerator(WORKLOADS["C"], 1000, rng)
+        assert all(o.op is OpType.READ for o in gen.operations(2000))
+
+    def test_inserts_extend_key_space(self, rng):
+        gen = YcsbGenerator(WORKLOADS["D"], 1000, rng)
+        inserted = [o for o in gen.operations(5000) if o.op is OpType.INSERT]
+        assert inserted, "workload D must produce inserts"
+        assert gen.record_count == 1000 + len(inserted)
+        # Inserted keys are fresh and sequential.
+        keys = [o.key for o in inserted]
+        assert keys == sorted(keys)
+        assert keys[0] == 1000
+
+    def test_is_write_predicate(self):
+        from repro.workloads.ycsb import Operation
+
+        assert not Operation(OpType.READ, 1).is_write
+        assert Operation(OpType.UPDATE, 1).is_write
+        assert Operation(OpType.INSERT, 1).is_write
+
+    def test_deterministic_with_seed(self):
+        a = YcsbGenerator(WORKLOADS["A"], 1000, np.random.default_rng(3))
+        b = YcsbGenerator(WORKLOADS["A"], 1000, np.random.default_rng(3))
+        ops_a = [(o.op, o.key) for o in a.operations(500)]
+        ops_b = [(o.op, o.key) for o in b.operations(500)]
+        assert ops_a == ops_b
+
+    def test_zipfian_hot_set_small(self, rng):
+        """The Zipfian working set property Hot-Promote relies on (§4.1.2):
+        a small fraction of keys receives the majority of accesses."""
+        gen = YcsbGenerator(WORKLOADS["C"], 50_000, rng)
+        keys = [o.key for o in gen.operations(30_000)]
+        values, counts = np.unique(keys, return_counts=True)
+        counts.sort()
+        top_10pct = counts[-len(counts) // 10 :].sum()
+        assert top_10pct / counts.sum() > 0.5
