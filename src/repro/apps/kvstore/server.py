@@ -28,9 +28,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from ...errors import ConfigurationError
+from ...errors import (
+    ConfigurationError,
+    DeviceFaultError,
+    MigrationError,
+    PoisonedReadError,
+    RetryExhaustedError,
+)
+from ...faults.injector import FaultInjector
+from ...faults.metrics import RecoveryTracker
+from ...faults.retry import RetryPolicy, retry_call
 from ...hw.paths import MemoryPath
 from ...hw.topology import Platform
+from ...mem.page import Page
 from ...mem.tiering.base import TieringDaemon
 from ...sim.stats import Counter, LatencyHistogram
 from ...units import gb_per_s
@@ -100,6 +110,30 @@ class KeyDbServer:
         #: MMEM configuration in Fig. 5(a).
         self._access_mix: Dict[int, float] = {}
         self.now_ns = 0.0
+        self.faults: Optional[FaultInjector] = None
+        self.retry_policy = RetryPolicy()
+        self.recovery: Optional[RecoveryTracker] = None
+
+    def attach_faults(
+        self,
+        injector: FaultInjector,
+        retry_policy: Optional[RetryPolicy] = None,
+        tracker: Optional[RecoveryTracker] = None,
+    ) -> None:
+        """Enable RAS behaviour: fault gating, failover, retry budget.
+
+        The degradation policy is the one a production KeyDB deployment
+        with a replica would use: a poisoned value page is remapped to
+        healthy DRAM and rewritten (scrubbing the poison); a page on a
+        failed device is remapped and refilled the same way; either
+        path retries under ``retry_policy``'s backoff budget and the
+        operation is *shed* once the budget is exhausted.
+        """
+        self.faults = injector
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+        self.recovery = tracker
+        injector.bind_pages(lambda: self.store.pages)
 
     def _path(self, node_id: int) -> MemoryPath:
         if node_id not in self._paths:
@@ -121,6 +155,12 @@ class KeyDbServer:
         mix = self._access_mix or self.store.node_mix()
         read_lat = {n: self._node_latency(n, 0.0) for n in self.platform.nodes}
         write_lat = {n: self._node_latency(n, 1.0) for n in self.platform.nodes}
+        if self.faults is not None:
+            for n in read_lat:
+                mult = self.faults.latency_multiplier(n, self.now_ns)
+                if mult != 1.0:
+                    read_lat[n] *= mult
+                    write_lat[n] *= mult
         struct_read = sum(frac * read_lat[n] for n, frac in mix.items())
         struct_write = sum(frac * write_lat[n] for n, frac in mix.items())
         return read_lat, write_lat, struct_read, struct_write
@@ -155,6 +195,69 @@ class KeyDbServer:
                 )
         return time_ns
 
+    # -- degradation policy ------------------------------------------------
+
+    def _failover_page(self, page: Page) -> bool:
+        """Remap a page off its (failed/poisoned) node onto healthy DRAM."""
+        for node in self.platform.dram_nodes(online_only=True):
+            if node.node_id == page.node_id:
+                continue
+            try:
+                self.store.space.move_page(page, node.node_id)
+            except MigrationError:
+                continue
+            return True
+        return False
+
+    def _apply_fault_policy(
+        self, plan: AccessPlan, counters: Counter
+    ) -> "tuple[bool, float]":
+        """Gate one operation against RAS state.
+
+        Returns ``(serviceable, extra_ns)`` where ``extra_ns`` is time
+        spent on retries, backoff, and failover copies.  A False first
+        element means the op was shed after exhausting the retry budget.
+        """
+        faults = self.faults
+        assert faults is not None
+        extra = 0.0
+
+        def note_backoff(attempt: int, backoff_ns: float) -> None:
+            nonlocal extra
+            del attempt
+            extra += backoff_ns
+            counters.add("fault_retries", 1)
+            counters.add("retry_backoff_ns", backoff_ns)
+
+        def attempt(_n: int) -> bool:
+            nonlocal extra
+            page = plan.value_page
+            try:
+                faults.check_read(page)
+            except PoisonedReadError:
+                # Remap to healthy DRAM and rewrite from the replica /
+                # FLASH copy; the rewrite scrubs the poison.  The retry
+                # (after backoff) then lands on clean memory.
+                counters.add("poison_reads", 1)
+                if self._failover_page(page):
+                    counters.add("failover_bytes", page.size)
+                    extra += page.size / MIGRATION_BANDWIDTH * 1e9
+                faults.scrub(page)
+                raise
+            except DeviceFaultError:
+                counters.add("device_fault_reads", 1)
+                if self._failover_page(page):
+                    counters.add("failover_bytes", page.size)
+                    extra += page.size / MIGRATION_BANDWIDTH * 1e9
+                raise
+            return True
+
+        try:
+            retry_call(attempt, self.retry_policy, note_backoff)
+        except RetryExhaustedError:
+            return False, extra
+        return True, extra
+
     def run(
         self,
         generator: YcsbGenerator,
@@ -174,6 +277,8 @@ class KeyDbServer:
         ssd_utilization = 0.0
         done = 0
         while done < total_ops:
+            if self.faults is not None:
+                self.faults.advance(self.now_ns)
             batch = min(epoch_ops, total_ops - done)
             plans = []
             for _ in range(batch):
@@ -188,17 +293,40 @@ class KeyDbServer:
             ssd_bytes = 0
             node_read_bytes: Dict[int, float] = {}
             node_write_bytes: Dict[int, float] = {}
+            shed = 0
             read_lat, write_lat, struct_read, struct_write = self._epoch_latency_tables()
             for plan in plans:
+                fault_extra = 0.0
+                if self.faults is not None:
+                    serviceable, fault_extra = self._apply_fault_policy(
+                        plan, result.counters
+                    )
+                    epoch_busy_ns += fault_extra
+                    if not serviceable:
+                        shed += 1
+                        result.counters.add("ops_shed", 1)
+                        if measuring and self.recovery is not None:
+                            self.recovery.record(
+                                self.now_ns + epoch_busy_ns / self.threads,
+                                fault_extra,
+                                ok=False,
+                            )
+                        continue
                 t = self._price(
                     plan, ssd_utilization, read_lat, write_lat, struct_read, struct_write
                 )
                 epoch_busy_ns += t
                 if measuring:
                     if plan.is_write:
-                        result.write_latency.record(t)
+                        result.write_latency.record(t + fault_extra)
                     else:
-                        result.read_latency.record(t)
+                        result.read_latency.record(t + fault_extra)
+                    if self.recovery is not None:
+                        self.recovery.record(
+                            self.now_ns + epoch_busy_ns / self.threads,
+                            t + fault_extra,
+                            ok=True,
+                        )
                 ssd_bytes += plan.ssd_read_bytes + plan.ssd_write_bytes
                 node = plan.value_page.node_id
                 touched = plan.value_bytes + 64 * (
@@ -222,7 +350,7 @@ class KeyDbServer:
             self.now_ns += epoch_ns
             done += batch
             if measuring:
-                result.ops += batch
+                result.ops += batch - shed
                 result.elapsed_ns += epoch_ns
             result.counters.add("ssd_bytes", ssd_bytes)
 

@@ -18,9 +18,12 @@ cross-check that the analytic sweep in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, List, Optional
 
 from ...errors import ConfigurationError
+from ...faults.breaker import CircuitBreaker
+from ...faults.injector import FaultInjector
+from ...faults.metrics import RecoveryTracker
 from ...sim.engine import Simulator
 from ...sim.stats import LatencyHistogram
 from ...units import GIB
@@ -30,6 +33,13 @@ from .kvcache import KvCache
 from .serving import LlmServingExperiment
 
 __all__ = ["ServingResult", "LlmRouter"]
+
+#: Fraction of a decode step's cost each context token costs to
+#: re-prefill after a sequence is rerouted to another backend.  Prefill
+#: is compute-parallel where decode is bandwidth-serial, so a context
+#: token re-processes roughly an order of magnitude cheaper than a
+#: decode step.
+REPREFILL_STEP_FRACTION = 0.05
 
 
 @dataclass
@@ -42,6 +52,10 @@ class ServingResult:
     request_latency: LatencyHistogram = field(
         default_factory=lambda: LatencyHistogram(min_value=1e6)
     )
+    #: Requests abandoned because no healthy backend remained.
+    requests_failed: int = 0
+    #: Sequences migrated to another backend (device loss / breaker).
+    reroutes: int = 0
 
     @property
     def tokens_per_second(self) -> float:
@@ -69,9 +83,67 @@ class LlmRouter:
             KvCache(self.model, kv_capacity_bytes) for _ in range(backends)
         ]
         self.active_sequences = [0] * backends
+        self.faults: Optional[FaultInjector] = None
+        self.backend_nodes: List[int] = []
+        self.breakers: List[CircuitBreaker] = []
+        self.step_timeout_factor = float("inf")
+        self.recovery: Optional[RecoveryTracker] = None
+
+    def attach_faults(
+        self,
+        injector: FaultInjector,
+        backend_nodes: Optional[List[int]] = None,
+        step_timeout_factor: float = 4.0,
+        failure_threshold: int = 3,
+        reset_timeout_ns: float = 200e6,
+        tracker: Optional[RecoveryTracker] = None,
+    ) -> None:
+        """Enable RAS routing: timeouts, circuit breakers, failover.
+
+        ``backend_nodes`` maps each backend to the memory node its KV
+        cache lives on; by default backends round-robin across all
+        memory nodes (DRAM first, then CXL), so losing the CXL expander
+        takes out a share of the fleet but not all of it.  A decode step
+        slower than ``step_timeout_factor`` x its healthy time misses
+        its deadline: the miss counts against the backend's circuit
+        breaker and the sequence is rerouted (paying a re-prefill of
+        its context on the new backend).  The deadline is relative —
+        keyed to degradation, not absolute step time — so the policy is
+        load-independent.
+        """
+        platform = injector.platform
+        if backend_nodes is None:
+            # CXL first so the expander always backs a share of the
+            # fleet even when DRAM nodes outnumber the backends.
+            pool = [n.node_id for n in platform.cxl_nodes()]
+            pool += [n.node_id for n in platform.dram_nodes()]
+            backend_nodes = [pool[i % len(pool)] for i in range(self.n_backends)]
+        if len(backend_nodes) != self.n_backends:
+            raise ConfigurationError("backend_nodes must map every backend")
+        if step_timeout_factor <= 1.0:
+            raise ConfigurationError("step_timeout_factor must exceed 1")
+        self.faults = injector
+        self.backend_nodes = list(backend_nodes)
+        self.step_timeout_factor = step_timeout_factor
+        self.recovery = tracker
+        self.breakers = [
+            CircuitBreaker(failure_threshold, reset_timeout_ns)
+            for _ in range(self.n_backends)
+        ]
 
     def _pick_backend(self) -> int:
         return min(range(self.n_backends), key=lambda i: self.active_sequences[i])
+
+    def _pick_healthy_backend(self, now_ns: float) -> Optional[int]:
+        """Least-loaded backend that is online and breaker-admitted."""
+        assert self.faults is not None
+        order = sorted(range(self.n_backends), key=lambda i: self.active_sequences[i])
+        for i in order:
+            if not self.faults.node_online(self.backend_nodes[i], now_ns):
+                continue
+            if self.breakers[i].allow(now_ns):
+                return i
+        return None
 
     def serve(self, requests: Iterable[ChatRequest]) -> ServingResult:
         """Run all requests to completion on the event engine."""
@@ -81,31 +153,114 @@ class LlmRouter:
         # DES adds queueing/assignment dynamics on top.
         point = self.experiment.serving_point(self.n_backends)
 
-        def sequence(backend_idx: int, seq_id: int, request: ChatRequest):
-            start = sim.now
-            cache = self.caches[backend_idx]
-            cache.admit(seq_id, request.prompt_tokens)
-            self.active_sequences[backend_idx] += 1
-            backend: CpuBackend = self.experiment.backend
+        backend: CpuBackend = self.experiment.backend
+
+        def healthy_step_time(idx: int, seq_id: int) -> float:
             share = self.experiment.spec.offered_bandwidth / max(
-                1, self.active_sequences[backend_idx]
+                1, self.active_sequences[idx]
             )
-            for _ in range(request.max_new_tokens):
-                step_ns = backend.token_time_ns(
-                    bandwidth_share=share,
-                    loaded_latency_ns=point.loaded_latency_ns,
-                    kv_bytes=cache.bytes_of(seq_id),
+            return backend.token_time_ns(
+                bandwidth_share=share,
+                loaded_latency_ns=point.loaded_latency_ns,
+                kv_bytes=self.caches[idx].bytes_of(seq_id),
+            )
+
+        def step_time(idx: int, seq_id: int) -> float:
+            step_ns = healthy_step_time(idx, seq_id)
+            if self.faults is not None:
+                step_ns *= self.faults.latency_multiplier(
+                    self.backend_nodes[idx], sim.now
                 )
+            return step_ns
+
+        def sequence(seq_id: int, request: ChatRequest):
+            start = sim.now
+            # Pick the backend when the sequence actually starts, so the
+            # least-loaded choice sees the real active counts (and, under
+            # faults, the current health picture).
+            if self.faults is not None:
+                self.faults.advance(sim.now)
+                idx = self._pick_healthy_backend(sim.now)
+                if idx is None:
+                    result.requests_failed += 1
+                    if self.recovery is not None:
+                        self.recovery.record(sim.now, 0.0, ok=False)
+                    return
+            else:
+                idx = self._pick_backend()
+            self.caches[idx].admit(seq_id, request.prompt_tokens)
+            self.active_sequences[idx] += 1
+            generated = 0
+
+            def leave(i: int) -> None:
+                self.caches[i].release(seq_id)
+                self.active_sequences[i] -= 1
+
+            def reroute(from_idx: int):
+                """Move the sequence to a healthy backend (or give up)."""
+                leave(from_idx)
+                new = self._pick_healthy_backend(sim.now)
+                if new is None:
+                    return None
+                self.caches[new].admit(seq_id, request.prompt_tokens + generated)
+                self.active_sequences[new] += 1
+                result.reroutes += 1
+                return new
+
+            while generated < request.max_new_tokens:
+                if self.faults is not None:
+                    self.faults.advance(sim.now)
+                    node = self.backend_nodes[idx]
+                    if not self.faults.node_online(node, sim.now):
+                        self.breakers[idx].record_failure(sim.now)
+                        new = reroute(idx)
+                        if new is None:
+                            result.requests_failed += 1
+                            if self.recovery is not None:
+                                self.recovery.record(sim.now, 0.0, ok=False)
+                            return
+                        idx = new
+                        yield sim.timeout(
+                            REPREFILL_STEP_FRACTION
+                            * (request.prompt_tokens + generated)
+                            * step_time(idx, seq_id)
+                        )
+                        continue
+                step_ns = step_time(idx, seq_id)
+                deadline_ns = healthy_step_time(idx, seq_id) * self.step_timeout_factor
+                if self.faults is not None and step_ns > deadline_ns:
+                    # Step deadline blown: count against the breaker and
+                    # try a healthier backend after the timeout elapses.
+                    self.breakers[idx].record_failure(sim.now)
+                    yield sim.timeout(deadline_ns)
+                    new = reroute(idx)
+                    if new is None:
+                        result.requests_failed += 1
+                        if self.recovery is not None:
+                            self.recovery.record(sim.now, 0.0, ok=False)
+                        return
+                    if new != idx:
+                        yield sim.timeout(
+                            REPREFILL_STEP_FRACTION
+                            * (request.prompt_tokens + generated)
+                            * step_time(new, seq_id)
+                        )
+                    idx = new
+                    continue
                 yield sim.timeout(step_ns)
-                cache.append_token(seq_id)
+                if self.faults is not None:
+                    self.breakers[idx].record_success(sim.now)
+                self.caches[idx].append_token(seq_id)
+                generated += 1
                 result.tokens_generated += 1
-            cache.release(seq_id)
-            self.active_sequences[backend_idx] -= 1
+                if self.recovery is not None:
+                    self.recovery.record(sim.now, step_ns, ok=True)
+            leave(idx)
             result.requests_completed += 1
             result.request_latency.record(sim.now - start)
 
         for seq_id, request in enumerate(requests):
-            sim.process(sequence(self._pick_backend(), seq_id, request))
+            sim.process(sequence(seq_id, request))
         sim.run()
         result.elapsed_ns = sim.now
         return result

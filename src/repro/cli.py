@@ -11,6 +11,8 @@ paper-style rows/series::
     repro tables          # Tables 1, 2, 3, 4
     repro cost --r-d 10 --r-c 8 --c 2 --r-t 1.1
     repro advise --demand-gbps 55 --write-fraction 0.2
+    repro faults list                     # RAS scenario catalog
+    repro faults run device-loss --app keydb --quick
 
 The same runners back ``pytest benchmarks/``; the CLI is the
 no-test-harness path for interactive exploration.
@@ -190,6 +192,49 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_list(args: argparse.Namespace) -> int:
+    from .faults import SCENARIOS
+
+    rows = [
+        (s.name, "transient" if s.transient else "permanent", s.description)
+        for s in SCENARIOS.values()
+    ]
+    print(ascii_table(["scenario", "kind", "description"], rows,
+                      title="Fault scenarios (RAS layer)"))
+    return 0
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .faults import FAULT_APPS, run_faulted_app
+
+    apps = sorted(FAULT_APPS) if args.app == "all" else [args.app]
+    for app in apps:
+        try:
+            summary = run_faulted_app(
+                app, args.scenario, seed=args.seed, quick=args.quick
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(ascii_table(
+            ["quantity", "value"], summary.rows(),
+            title=f"\n{app} under {args.scenario} (seed {args.seed})",
+        ))
+        if summary.trace:
+            print("fault trace:")
+            for line in summary.trace:
+                print(f"  {line}")
+    return 0
+
+
+def _nonnegative_seed(text: str) -> int:
+    value = int(text, 0)  # accepts decimal and 0x-hex
+    if value < 0:
+        raise argparse.ArgumentTypeError("seed must be non-negative")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -221,6 +266,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("validate", help="check every fast calibration anchor")
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("faults", help="fault injection & RAS scenarios")
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+    fp = fsub.add_parser("list", help="show the scenario catalog")
+    fp.set_defaults(func=_cmd_faults_list)
+    fp = fsub.add_parser("run", help="run one scenario against an app")
+    fp.add_argument("scenario", help="scenario name (see 'faults list')")
+    fp.add_argument(
+        "--app", choices=("keydb", "llm", "spark", "all"), default="all",
+        help="which application to fault (default: all)",
+    )
+    fp.add_argument(
+        "--seed", type=_nonnegative_seed, default=0xC0FFEE,
+        help="RNG seed (decimal or 0x-hex; same seed, same fault trace)",
+    )
+    fp.add_argument("--quick", action="store_true", help="small, fast run")
+    fp.set_defaults(func=_cmd_faults_run)
 
     p = sub.add_parser("advise", help="configuration advisor (§3.4/§5.3)")
     p.add_argument("--demand-gbps", type=float, default=50.0)

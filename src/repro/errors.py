@@ -21,6 +21,11 @@ __all__ = [
     "MigrationError",
     "WorkloadError",
     "CostModelError",
+    "FaultError",
+    "DeviceFaultError",
+    "PoisonedReadError",
+    "LinkDegradedError",
+    "RetryExhaustedError",
 ]
 
 
@@ -62,3 +67,58 @@ class WorkloadError(ReproError):
 
 class CostModelError(ReproError):
     """Abstract Cost Model parameters are out of their valid domain."""
+
+
+class FaultError(ReproError):
+    """Base class for injected RAS faults (link, poison, device loss).
+
+    These are *runtime conditions*, not programming errors: the fault
+    layer raises them to drive the applications' degradation policies
+    (retry, failover, load shedding), so callers are expected to catch
+    them and recover rather than crash.
+    """
+
+
+class DeviceFaultError(FaultError):
+    """A memory device/node is offline or unreachable."""
+
+    def __init__(self, node_id: int, message: str = "") -> None:
+        self.node_id = node_id
+        super().__init__(message or f"memory node {node_id} is offline")
+
+
+class PoisonedReadError(FaultError):
+    """A read returned a poisoned cacheline (uncorrectable error)."""
+
+    def __init__(self, page_id: int, node_id: int, message: str = "") -> None:
+        self.page_id = page_id
+        self.node_id = node_id
+        super().__init__(
+            message or f"poisoned read: page {page_id} on node {node_id}"
+        )
+
+
+class LinkDegradedError(FaultError):
+    """An access exceeded its deadline on a degraded/retraining link."""
+
+    def __init__(self, resource: str = "", message: str = "") -> None:
+        self.resource = resource
+        super().__init__(message or f"link {resource or '<unknown>'} degraded")
+
+
+class RetryExhaustedError(FaultError):
+    """The bounded retry/backoff budget was spent without success."""
+
+    def __init__(
+        self,
+        attempts: int,
+        last_error: "BaseException | None" = None,
+        message: str = "",
+    ) -> None:
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            message
+            or f"retry budget exhausted after {attempts} attempts"
+            + (f" (last: {last_error!r})" if last_error is not None else "")
+        )

@@ -1,0 +1,43 @@
+"""Fault injection and RAS (reliability/availability/serviceability).
+
+The package models the CXL failure modes an ASIC-based expander fleet
+must survive — link CRC retries and retraining (transient bandwidth and
+latency derating), correctable-error storms (latency inflation),
+uncorrectable poison on individual pages, and whole-device loss — and
+the degradation policies the three paper applications use to ride them
+out: retry with bounded exponential backoff, hot-page failover,
+circuit-broken routing, and task re-execution.
+
+Everything is deterministic: a :class:`FaultPlan` is a seedable,
+pre-declared schedule, and the :class:`FaultInjector` derives all
+randomness (e.g. which pages a poison event hits) from a named RNG
+stream of the plan's seed, so the same seed always reproduces the same
+event trace.
+"""
+
+from .breaker import BreakerState, CircuitBreaker
+from .injector import FaultInjector
+from .metrics import FaultRecoveryReport, RecoveryTracker
+from .plan import FaultEvent, FaultKind, FaultPlan
+from .retry import RetryPolicy, retry_call
+from .runner import FAULT_APPS, FaultedRunSummary, run_faulted_app
+from .scenarios import SCENARIOS, Scenario, build_scenario
+
+__all__ = [
+    "FAULT_APPS",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecoveryReport",
+    "FaultedRunSummary",
+    "RecoveryTracker",
+    "run_faulted_app",
+    "RetryPolicy",
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
+    "retry_call",
+]

@@ -1,0 +1,98 @@
+"""A circuit breaker over simulated time.
+
+The LLM router uses one breaker per backend: consecutive failures
+(step timeouts, device faults) trip the breaker OPEN, which removes the
+backend from routing; after ``reset_timeout_ns`` of simulated time the
+breaker goes HALF_OPEN and admits a bounded number of probe requests —
+a success closes it, a failure re-opens it.  The states and transitions
+are the classic Nygard pattern; time comes from the caller (the DES
+clock), never the wall clock, so runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigurationError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """Breaker states (Nygard's circuit-breaker pattern)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker driven by simulated time."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_ns: float = 100e6,
+        half_open_probes: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if reset_timeout_ns <= 0:
+            raise ConfigurationError("reset_timeout_ns must be positive")
+        if half_open_probes < 1:
+            raise ConfigurationError("half_open_probes must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_ns = reset_timeout_ns
+        self.half_open_probes = half_open_probes
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ns = -float("inf")
+        self.times_opened = 0
+        self._probes_in_flight = 0
+
+    def allow(self, now_ns: float) -> bool:
+        """May a request be routed through right now?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now_ns - self.opened_at_ns >= self.reset_timeout_ns:
+                self.state = BreakerState.HALF_OPEN
+                self._probes_in_flight = 0
+            else:
+                return False
+        # HALF_OPEN: admit a bounded number of probes.
+        if self._probes_in_flight < self.half_open_probes:
+            self._probes_in_flight += 1
+            return True
+        return False
+
+    def record_success(self, now_ns: float) -> None:
+        """A routed request completed normally."""
+        self.consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+            self._probes_in_flight = 0
+        del now_ns  # uniform signature with record_failure
+
+    def record_failure(self, now_ns: float) -> None:
+        """A routed request failed (timeout, fault)."""
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at_ns = now_ns
+            self.times_opened += 1
+            self._probes_in_flight = 0
+
+    @property
+    def is_open(self) -> bool:
+        """True while the breaker rejects (non-probe) traffic."""
+        return self.state is BreakerState.OPEN
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state.value}, "
+            f"failures={self.consecutive_failures}, opened={self.times_opened})"
+        )

@@ -1,0 +1,261 @@
+"""The fault injector: binds a :class:`FaultPlan` to a live platform.
+
+The injector is the single authority on RAS state during a run:
+
+* :meth:`advance` brings the platform's mutable state (resource
+  deratings, node online flags) in line with the plan at a given
+  simulated time and appends any state *transitions* to a deterministic
+  event trace — the same seed and plan always produce the identical
+  trace, which the tests assert;
+* pure time-based queries (:meth:`latency_multiplier`,
+  :meth:`bandwidth_multiplier`, :meth:`node_online`,
+  :meth:`poison_fraction_in`) never mutate anything, so analytic models
+  (the Spark runner) can integrate fault windows without replaying them;
+* page-level poison: when a POISON event's start time passes,
+  :meth:`advance` samples the configured fraction of the target node's
+  pages from the injector's own seeded RNG stream and marks them;
+  :meth:`check_read` then raises :class:`PoisonedReadError` (or
+  :class:`DeviceFaultError` for an offline node) until the application
+  scrubs the page via :meth:`scrub`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..errors import ConfigurationError, DeviceFaultError, PoisonedReadError
+from ..hw.topology import Platform
+from ..mem.page import Page
+from ..sim.rng import RngFactory
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+PageProvider = Callable[[], Sequence[Page]]
+
+
+class FaultInjector:
+    """Applies a fault plan to a platform as simulated time advances."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        plan: FaultPlan,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.platform = platform
+        self.plan = plan
+        self.rng = rng if rng is not None else RngFactory(plan.seed).stream("faults")
+        self.trace: List[str] = []
+        self._page_provider: Optional[PageProvider] = None
+        self._poisoned: Set[int] = set()
+        self._activated_poison: Set[int] = set()  # indices into plan.events
+        self._current_derating: Dict[str, float] = {}
+        self._current_offline: Set[int] = set()
+        self._current_storms: Set[int] = set()  # indices into plan.events
+        self._validate()
+
+    def _validate(self) -> None:
+        for event in self.plan.events:
+            if event.node_id is not None and event.node_id not in self.platform.nodes:
+                raise ConfigurationError(
+                    f"fault targets unknown node {event.node_id}"
+                )
+            if event.resource is not None and event.resource not in self.platform.resources:
+                raise ConfigurationError(
+                    f"fault targets unknown resource {event.resource!r}"
+                )
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_pages(self, provider: PageProvider) -> None:
+        """Register the page population poison events sample from.
+
+        ``provider`` is called lazily at activation time so pages
+        allocated after injector construction are still candidates.
+        """
+        self._page_provider = provider
+
+    # -- resolution helpers ------------------------------------------------
+
+    def _resources_of(self, event: FaultEvent) -> List[str]:
+        if event.resource is not None:
+            return [event.resource]
+        node = self.platform.node(event.node_id)
+        return list(node.local_extra_resources) + [node.resource.name]
+
+    def _log(self, now_ns: float, message: str) -> None:
+        self.trace.append(f"t={now_ns / 1e6:.3f}ms {message}")
+
+    # -- state synchronisation ---------------------------------------------
+
+    def advance(self, now_ns: float) -> None:
+        """Sync platform RAS state with the plan at ``now_ns``.
+
+        Idempotent: only *transitions* (degrade/restore, offline/online,
+        poison injection) mutate state and emit trace lines.
+        """
+        # Desired deratings from active LINK_DEGRADE windows.
+        desired: Dict[str, float] = {}
+        for event in self.plan.events_of(FaultKind.LINK_DEGRADE):
+            if event.active_at(now_ns):
+                for name in self._resources_of(event):
+                    desired[name] = desired.get(name, 1.0) * event.bandwidth_multiplier
+        for name in sorted(set(self._current_derating) | set(desired)):
+            want = desired.get(name, 1.0)
+            have = self._current_derating.get(name, 1.0)
+            if want != have:
+                self.platform.set_derating(name, want)
+                if want < 1.0:
+                    self._log(now_ns, f"link {name} degraded to x{want:g} capacity")
+                else:
+                    self._log(now_ns, f"link {name} restored")
+        self._current_derating = {n: m for n, m in desired.items() if m < 1.0}
+
+        # Desired offline set from active DEVICE_FAIL windows.
+        offline = {
+            e.node_id
+            for e in self.plan.events_of(FaultKind.DEVICE_FAIL)
+            if e.active_at(now_ns)
+        }
+        for node_id in sorted(offline - self._current_offline):
+            self.platform.mark_offline(node_id)
+            self._log(now_ns, f"node{node_id} OFFLINE (device failure)")
+        for node_id in sorted(self._current_offline - offline):
+            self.platform.mark_online(node_id)
+            self._log(now_ns, f"node{node_id} online (device restored)")
+        self._current_offline = offline
+
+        # Error storms are latency-only (no platform state to mutate)
+        # but their transitions still belong in the trace.
+        storms = {
+            i
+            for i, e in enumerate(self.plan.events)
+            if e.kind is FaultKind.ERROR_STORM and e.active_at(now_ns)
+        }
+        for index in sorted(storms - self._current_storms):
+            event = self.plan.events[index]
+            self._log(
+                now_ns,
+                f"error storm on node{event.node_id} "
+                f"(latency x{event.latency_multiplier:g})",
+            )
+        for index in sorted(self._current_storms - storms):
+            event = self.plan.events[index]
+            self._log(now_ns, f"error storm on node{event.node_id} subsided")
+        self._current_storms = storms
+
+        # One-shot poison injections whose start time has passed.
+        for index, event in enumerate(self.plan.events):
+            if event.kind is not FaultKind.POISON:
+                continue
+            if index in self._activated_poison or now_ns < event.start_ns:
+                continue
+            self._activated_poison.add(index)
+            self._inject_poison(now_ns, event)
+
+    def _inject_poison(self, now_ns: float, event: FaultEvent) -> None:
+        pages: Sequence[Page] = ()
+        if self._page_provider is not None:
+            pages = [
+                p for p in self._page_provider() if p.node_id == event.node_id
+            ]
+        if not pages:
+            # Page-less consumers (the analytic Spark model) account for
+            # poison via poison_fraction_in(); still record the injection.
+            self._log(
+                now_ns,
+                f"poison injected on node{event.node_id} "
+                f"({event.poison_fraction * 100:g}% of pages)",
+            )
+            return
+        count = max(1, int(len(pages) * event.poison_fraction))
+        chosen = self.rng.choice(len(pages), size=min(count, len(pages)), replace=False)
+        for idx in sorted(int(i) for i in chosen):
+            self._poisoned.add(pages[idx].page_id)
+        self._log(
+            now_ns,
+            f"poison injected on node{event.node_id}: "
+            f"{min(count, len(pages))} pages",
+        )
+
+    # -- pure queries ------------------------------------------------------
+
+    def latency_multiplier(self, node_id: int, now_ns: float) -> float:
+        """Combined latency inflation on a node's accesses at ``now_ns``."""
+        mult = 1.0
+        for event in self.plan.events:
+            if event.kind not in (FaultKind.LINK_DEGRADE, FaultKind.ERROR_STORM):
+                continue
+            if event.node_id == node_id and event.active_at(now_ns):
+                mult *= event.latency_multiplier
+        return mult
+
+    def bandwidth_multiplier(self, node_id: int, now_ns: float) -> float:
+        """Combined capacity multiplier on a node's resource chain."""
+        mult = 1.0
+        for event in self.plan.events_of(FaultKind.LINK_DEGRADE):
+            if event.node_id == node_id and event.active_at(now_ns):
+                mult *= event.bandwidth_multiplier
+        return mult
+
+    def node_online(self, node_id: int, now_ns: float) -> bool:
+        """Plan-level reachability of a node at ``now_ns``."""
+        return not any(
+            e.node_id == node_id and e.active_at(now_ns)
+            for e in self.plan.events_of(FaultKind.DEVICE_FAIL)
+        )
+
+    def poison_fraction_in(self, node_id: int, t0: float, t1: float) -> float:
+        """Total poison fraction injected on a node during ``[t0, t1)``."""
+        return sum(
+            e.poison_fraction
+            for e in self.plan.events_of(FaultKind.POISON)
+            if e.node_id == node_id and t0 <= e.start_ns < t1
+        )
+
+    def offline_overlap(self, node_id: int, t0: float, t1: float) -> float:
+        """Nanoseconds of ``[t0, t1)`` during which the node is offline."""
+        return sum(
+            e.overlap_ns(t0, t1)
+            for e in self.plan.events_of(FaultKind.DEVICE_FAIL)
+            if e.node_id == node_id
+        )
+
+    # -- poison bookkeeping ------------------------------------------------
+
+    @property
+    def poisoned_pages(self) -> int:
+        """Number of pages currently carrying poison."""
+        return len(self._poisoned)
+
+    def is_poisoned(self, page: Page) -> bool:
+        """True while the page carries unscrubbed poison."""
+        return page.page_id in self._poisoned
+
+    def check_read(self, page: Page) -> None:
+        """Gate one read: offline node or poisoned page raises.
+
+        Raises :class:`DeviceFaultError` for a page on an offline node
+        (checked first — a dead device cannot even return poison) and
+        :class:`PoisonedReadError` for a poisoned page.
+        """
+        if not self.platform.is_online(page.node_id):
+            raise DeviceFaultError(page.node_id)
+        if page.page_id in self._poisoned:
+            raise PoisonedReadError(page.page_id, page.node_id)
+
+    def scrub(self, page: Page) -> None:
+        """Clear a page's poison (rewritten or remapped by the app)."""
+        self._poisoned.discard(page.page_id)
+
+    def scrub_all(self, pages: Iterable[Page]) -> int:
+        """Scrub several pages; returns how many actually carried poison."""
+        cleared = 0
+        for page in pages:
+            if page.page_id in self._poisoned:
+                self._poisoned.discard(page.page_id)
+                cleared += 1
+        return cleared

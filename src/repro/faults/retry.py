@@ -1,0 +1,84 @@
+"""Bounded retry with exponential backoff.
+
+Every degradation policy in the applications uses the same retry
+contract: attempt an access, and on a :class:`~repro.errors.FaultError`
+back off exponentially (base x multiplier^attempt, capped) up to a
+bounded number of attempts, then give up with
+:class:`~repro.errors.RetryExhaustedError`.  Centralizing the policy
+keeps budgets comparable across KeyDB, Spark, and the LLM router, and
+gives the tests one place to assert the backoff arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+from ..errors import ConfigurationError, FaultError, RetryExhaustedError
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget (times in simulated ns)."""
+
+    max_attempts: int = 4
+    base_backoff_ns: float = 200e3  # 200 us
+    multiplier: float = 2.0
+    max_backoff_ns: float = 50e6  # 50 ms cap
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_backoff_ns < 0 or self.max_backoff_ns < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Backoff after the ``attempt``-th failure (1-based), capped."""
+        if attempt < 1:
+            raise ConfigurationError("attempt is 1-based")
+        return min(
+            self.max_backoff_ns,
+            self.base_backoff_ns * self.multiplier ** (attempt - 1),
+        )
+
+    def total_backoff_ns(self) -> float:
+        """The full backoff budget: sum over every retry the policy allows."""
+        return sum(self.backoff_ns(a) for a in range(1, self.max_attempts))
+
+
+def retry_call(
+    fn: Callable[[int], T],
+    policy: RetryPolicy,
+    on_backoff: Optional[Callable[[int, float], None]] = None,
+) -> Tuple[T, int, float]:
+    """Call ``fn(attempt)`` under the retry policy.
+
+    Returns ``(result, attempts_used, total_backoff_ns)``.  Only
+    :class:`FaultError` subclasses are retried — anything else is a
+    programming error and propagates immediately.  After the last
+    allowed attempt fails, raises :class:`RetryExhaustedError` carrying
+    the attempt count and last error.
+
+    ``on_backoff(attempt, backoff_ns)`` is invoked before each retry so
+    callers can advance simulated time or bump counters.
+    """
+    total_backoff = 0.0
+    last: Optional[FaultError] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn(attempt), attempt, total_backoff
+        except FaultError as exc:
+            last = exc
+            if attempt == policy.max_attempts:
+                break
+            backoff = policy.backoff_ns(attempt)
+            total_backoff += backoff
+            if on_backoff is not None:
+                on_backoff(attempt, backoff)
+    raise RetryExhaustedError(policy.max_attempts, last)

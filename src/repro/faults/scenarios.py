@@ -1,0 +1,161 @@
+"""The named fault-scenario catalog.
+
+Each scenario is a *shape* — which RAS failure mode, how severe — that
+:meth:`Scenario.build` instantiates against a concrete platform and
+time window.  The window is supplied by the caller (the per-app fault
+runners) because the three applications live on wildly different
+clocks: a scaled KeyDB run finishes in ~100 ms of simulated time, an
+LLM serving run in minutes, a Spark TPC-H query in tens of minutes.
+
+Scenarios always target the platform's first CXL expander — that is the
+device the paper's TCO argument puts on the critical path, and the one
+whose RAS behaviour decides fleet viability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..errors import ConfigurationError
+from ..hw.device import MemoryNode
+from ..hw.topology import Platform
+from .plan import FaultPlan
+
+__all__ = ["Scenario", "SCENARIOS", "build_scenario"]
+
+PlanBuilder = Callable[[Platform, int, float, float], FaultPlan]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named fault shape from the catalog."""
+
+    name: str
+    description: str
+    builder: PlanBuilder
+    #: Whether the injected fault ever clears on its own (drives whether
+    #: a recovery time is meaningful).
+    transient: bool
+
+    def build(
+        self,
+        platform: Platform,
+        seed: int,
+        start_ns: float,
+        duration_ns: float,
+    ) -> FaultPlan:
+        """Instantiate the scenario against a platform and window."""
+        if start_ns < 0 or duration_ns <= 0:
+            raise ConfigurationError("scenario window must be positive")
+        return self.builder(platform, seed, start_ns, duration_ns)
+
+
+def _target_cxl(platform: Platform) -> MemoryNode:
+    nodes = platform.cxl_nodes()
+    if not nodes:
+        raise ConfigurationError("fault scenarios need a CXL-equipped platform")
+    return nodes[0]
+
+
+def _link_degrade(platform: Platform, seed: int, start: float, dur: float) -> FaultPlan:
+    node = _target_cxl(platform)
+    return FaultPlan(seed).degrade_link(
+        start, dur, node_id=node.node_id,
+        bandwidth_multiplier=0.25, latency_multiplier=3.0,
+    )
+
+
+def _error_storm(platform: Platform, seed: int, start: float, dur: float) -> FaultPlan:
+    node = _target_cxl(platform)
+    return FaultPlan(seed).error_storm(start, dur, node.node_id, latency_multiplier=8.0)
+
+
+def _poison(platform: Platform, seed: int, start: float, dur: float) -> FaultPlan:
+    del dur  # poison is sticky; the injection is instantaneous
+    node = _target_cxl(platform)
+    return FaultPlan(seed).poison(start, node.node_id, fraction=0.02)
+
+
+def _device_loss(platform: Platform, seed: int, start: float, dur: float) -> FaultPlan:
+    del dur  # permanent: the expander never comes back
+    node = _target_cxl(platform)
+    return FaultPlan(seed).fail_device(start, node.node_id, duration_ns=math.inf)
+
+
+def _device_flap(platform: Platform, seed: int, start: float, dur: float) -> FaultPlan:
+    node = _target_cxl(platform)
+    return FaultPlan(seed).fail_device(start, node.node_id, duration_ns=dur)
+
+
+def _meltdown(platform: Platform, seed: int, start: float, dur: float) -> FaultPlan:
+    """The compound worst case: degradation, then poison, then loss."""
+    node = _target_cxl(platform)
+    plan = FaultPlan(seed)
+    plan.degrade_link(
+        start, dur / 2, node_id=node.node_id,
+        bandwidth_multiplier=0.5, latency_multiplier=2.0,
+    )
+    plan.poison(start + dur / 4, node.node_id, fraction=0.01)
+    plan.fail_device(start + dur / 2, node.node_id, duration_ns=dur / 2)
+    return plan
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "link-degrade",
+            "CXL link CRC retries/retraining: bandwidth x0.25, latency x3 for a window",
+            _link_degrade,
+            transient=True,
+        ),
+        Scenario(
+            "error-storm",
+            "correctable-error storm on the expander: latency x8 for a window",
+            _error_storm,
+            transient=True,
+        ),
+        Scenario(
+            "poison",
+            "uncorrectable errors: 2% of the expander's pages poisoned (sticky until scrubbed)",
+            _poison,
+            transient=False,
+        ),
+        Scenario(
+            "device-loss",
+            "the CXL expander drops off the bus permanently mid-run",
+            _device_loss,
+            transient=False,
+        ),
+        Scenario(
+            "device-flap",
+            "the CXL expander goes offline for a window, then returns",
+            _device_flap,
+            transient=True,
+        ),
+        Scenario(
+            "meltdown",
+            "compound failure: link degrade, then poison, then permanent loss",
+            _meltdown,
+            transient=False,
+        ),
+    )
+}
+
+
+def build_scenario(
+    name: str,
+    platform: Platform,
+    seed: int,
+    window: Tuple[float, float],
+) -> FaultPlan:
+    """Instantiate catalog scenario ``name`` over ``(start, duration)``."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault scenario {name!r}; expected one of {sorted(SCENARIOS)}"
+        ) from None
+    return scenario.build(platform, seed, window[0], window[1])

@@ -59,6 +59,9 @@ class MemoryNode:
     #: Extra resources local accesses cross (e.g. the PCIe link of a CXL
     #: card).  Remote-socket extras are added by path resolution.
     local_extra_resources: Tuple[str, ...] = ()
+    #: RAS state: False while the device is hard-failed (fault injection
+    #: or a real outage model); flipped by ``Platform.mark_offline``.
+    online: bool = True
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:

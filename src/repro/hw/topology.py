@@ -40,6 +40,9 @@ class Platform:
         self.resources: Dict[str, SharedResource] = {}
         self.ssds: List[SsdDevice] = []
         self._cxl_rsf: Dict[int, str] = {}  # node_id -> rsf resource name
+        #: RAS deratings: resource name -> capacity multiplier in (0, 1).
+        #: Set by the fault injector while a link is degraded/retraining.
+        self._derating: Dict[str, float] = {}
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -122,21 +125,69 @@ class Platform:
         except KeyError:
             raise TopologyError(f"unknown node {node_id}") from None
 
-    def dram_nodes(self, socket: Optional[int] = None) -> List[MemoryNode]:
+    def dram_nodes(
+        self, socket: Optional[int] = None, online_only: bool = False
+    ) -> List[MemoryNode]:
         """All DRAM nodes, optionally restricted to one socket."""
         return [
             n
             for n in self.nodes.values()
-            if n.kind is NodeKind.DRAM and (socket is None or n.socket == socket)
+            if n.kind is NodeKind.DRAM
+            and (socket is None or n.socket == socket)
+            and (not online_only or n.online)
         ]
 
-    def cxl_nodes(self, socket: Optional[int] = None) -> List[MemoryNode]:
+    def cxl_nodes(
+        self, socket: Optional[int] = None, online_only: bool = False
+    ) -> List[MemoryNode]:
         """All CXL nodes, optionally restricted to one socket."""
         return [
             n
             for n in self.nodes.values()
-            if n.kind is NodeKind.CXL and (socket is None or n.socket == socket)
+            if n.kind is NodeKind.CXL
+            and (socket is None or n.socket == socket)
+            and (not online_only or n.online)
         ]
+
+    # -- RAS state (driven by repro.faults) ----------------------------------
+
+    def set_derating(self, resource: str, multiplier: float) -> None:
+        """Derate a shared resource's capacity (degraded/retraining link).
+
+        ``multiplier`` scales the resource's mix-dependent capacity in the
+        allocator; 1.0 (or above) clears the derating.
+        """
+        if resource not in self.resources:
+            raise TopologyError(f"unknown resource {resource!r}")
+        if multiplier <= 0.0:
+            raise TopologyError(f"derating multiplier must be positive, got {multiplier}")
+        if multiplier >= 1.0:
+            self._derating.pop(resource, None)
+        else:
+            self._derating[resource] = multiplier
+
+    def clear_derating(self, resource: Optional[str] = None) -> None:
+        """Remove one resource's derating (or all, when None)."""
+        if resource is None:
+            self._derating.clear()
+        else:
+            self._derating.pop(resource, None)
+
+    def derating(self, resource: str) -> float:
+        """Current capacity multiplier of a resource (1.0 = healthy)."""
+        return self._derating.get(resource, 1.0)
+
+    def mark_offline(self, node_id: int) -> None:
+        """Hard-fail a node: its memory becomes unreachable."""
+        self.node(node_id).online = False
+
+    def mark_online(self, node_id: int) -> None:
+        """Bring a failed node back (device replaced / link retrained)."""
+        self.node(node_id).online = True
+
+    def is_online(self, node_id: int) -> bool:
+        """RAS state of a node (True = reachable)."""
+        return self.node(node_id).online
 
     def _upi_name(self, socket_a: int, socket_b: int) -> str:
         lo, hi = sorted((socket_a, socket_b))
@@ -222,7 +273,8 @@ class Platform:
         weights = {}
         for d in demands:
             cap_guess = min(
-                self.resources[r].capacity(0.0) for r in d.resources
+                self.resources[r].capacity(0.0) * self.derating(r)
+                for r in d.resources
             )
             weights[d.source] = min(d.rate, cap_guess)
         mix: Dict[str, float] = {}
@@ -237,7 +289,7 @@ class Platform:
         result = AllocationResult()
         for _ in range(max(1, iterations)):
             capacities = {
-                name: res.capacity(mix.get(name, 0.0))
+                name: res.capacity(mix.get(name, 0.0)) * self.derating(name)
                 for name, res in self.resources.items()
             }
             result = max_min_allocate(list(demands), capacities)

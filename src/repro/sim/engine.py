@@ -66,9 +66,24 @@ class Event:
         return self
 
     def fail(self, exc: BaseException) -> "Event":
-        """Mark the event failed; waiting processes see the exception."""
+        """Mark the event failed; waiting processes see the exception.
+
+        The exception keeps (or, for a freshly constructed one, gains) a
+        traceback anchored at the ``fail()`` call site, so that when it
+        is eventually re-raised — from :meth:`Process._resume` or
+        :meth:`Simulator.run_until_event` — the original failure context
+        is part of the chain instead of being lost.
+        """
         if self._triggered:
             raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() requires an exception instance, got {exc!r}")
+        if exc.__traceback__ is None:
+            # Anchor the traceback at the fail site so re-raises chain back.
+            try:
+                raise exc
+            except BaseException:
+                pass
         self._triggered = True
         self.failed = True
         self.value = exc
@@ -121,6 +136,16 @@ class Process(Event):
             self.succeed(stop.value)
             return
         except BaseException as exc:  # propagate crash to waiters
+            if (
+                trigger.failed
+                and exc is not trigger.value
+                and exc.__context__ is None
+                and exc.__cause__ is None
+            ):
+                # The generator swallowed the triggering failure and then
+                # raised a fresh exception outside the except block; chain
+                # the original so its traceback is not lost.
+                exc.__context__ = trigger.value
             if self.callbacks:
                 self.fail(exc)
                 return
@@ -131,8 +156,10 @@ class Process(Event):
             )
         if target.dispatched:
             # Already-dispatched event: its callback list is dead, so
-            # resume via an immediate timeout carrying the same value.
+            # resume via an immediate timeout carrying the same value —
+            # preserving failure, so a failed event still throws.
             imm = Timeout(self.sim, 0.0, value=target.value)
+            imm.failed = target.failed
             imm.callbacks.append(self._resume)
         else:
             target.callbacks.append(self._resume)
@@ -148,13 +175,20 @@ class AllOf(Event):
         if not events:
             self.succeed([])
             return
+        first_failure: Optional[BaseException] = None
         for i, ev in enumerate(events):
             if ev.dispatched:
+                if ev.failed and first_failure is None:
+                    first_failure = ev.value
                 self._values[i] = ev.value
             else:
                 self._pending += 1
                 ev.callbacks.append(self._make_cb(i))
-        if self._pending == 0:
+        if first_failure is not None:
+            # A failed-but-dispatched child fails the combinator, exactly
+            # as a failing pending child would via its callback.
+            self.fail(first_failure)
+        elif self._pending == 0:
             self.succeed(self._values)
 
     def _make_cb(self, index: int) -> Callable[[Event], None]:
@@ -180,6 +214,15 @@ class AnyOf(Event):
         if not events:
             raise SimulationError("AnyOf requires at least one event")
         for ev in events:
+            if ev.dispatched:
+                # An already-dispatched child's callback list is dead
+                # (appending would never fire); it IS the first event, so
+                # resolve immediately — mirroring Process._resume/AllOf.
+                if ev.failed:
+                    self.fail(ev.value)
+                else:
+                    self.succeed(ev.value)
+                return
             ev.callbacks.append(self._on_child)
 
     def _on_child(self, ev: Event) -> None:

@@ -1,0 +1,107 @@
+"""End-to-end acceptance: the three apps degrade gracefully, deterministically.
+
+These pin the RAS layer's contract at the application level:
+
+* a fault scenario can take the CXL expander offline mid-run and every
+  app still completes, at degraded-but-nonzero throughput;
+* poisoned reads surface as :class:`PoisonedReadError` and are retried /
+  failed over per the app's policy (visible in the counters);
+* the same seed always produces the identical fault trace and summary.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import run_faulted_app
+
+SEED = 0xC0FFEE
+
+
+class TestDeviceLossDegradesButCompletes:
+    @pytest.mark.parametrize("app", ["keydb", "llm", "spark"])
+    def test_run_completes_with_nonzero_throughput(self, app):
+        summary = run_faulted_app(app, "device-loss", seed=SEED, quick=True)
+        assert summary.faulted_throughput > 0
+        assert summary.healthy_throughput > 0
+        # Losing the expander costs throughput; it must not cost the run.
+        assert summary.throughput_ratio <= 1.0
+        assert 0.0 < summary.availability <= 1.0
+        assert any("OFFLINE" in line for line in summary.trace)
+
+
+class TestPerAppPolicies:
+    def test_keydb_fails_over_and_sheds_nothing_on_poison(self):
+        summary = run_faulted_app("keydb", "poison", seed=SEED, quick=True)
+        # Poison hits happened, each retried onto surviving DRAM.
+        assert summary.counters.get("poison_reads", 0) > 0
+        assert summary.counters.get("fault_retries", 0) >= summary.counters["poison_reads"]
+        assert summary.counters.get("failover_bytes", 0) > 0
+        # Failover absorbs every hit: nothing shed, full availability.
+        assert summary.counters.get("ops_shed", 0) == 0
+        assert summary.availability == pytest.approx(1.0)
+
+    def test_keydb_retry_backoff_budget_is_spent_not_blown(self):
+        summary = run_faulted_app("keydb", "poison", seed=SEED, quick=True)
+        retries = summary.counters.get("fault_retries", 0)
+        backoff = summary.counters.get("retry_backoff_ns", 0)
+        assert retries > 0
+        # Each retry backs off at least the policy's base (200 us).
+        assert backoff >= retries * 200e3
+
+    def test_llm_routes_around_dead_backend(self):
+        summary = run_faulted_app("llm", "device-loss", seed=SEED, quick=True)
+        assert summary.counters["reroutes"] > 0
+        assert summary.counters["requests_completed"] > 0
+        # The router keeps serving on surviving backends.
+        assert summary.availability > 0.5
+
+    def test_llm_breaker_trips_under_error_storm(self):
+        summary = run_faulted_app("llm", "error-storm", seed=SEED, quick=True)
+        assert summary.counters["breaker_trips"] > 0
+        assert any("error storm" in line for line in summary.trace)
+        # The storm clears: the run still completes every request.
+        assert summary.counters["requests_failed"] == 0
+
+    def test_spark_reexecutes_lost_shuffle_work(self):
+        summary = run_faulted_app("spark", "device-loss", seed=SEED, quick=True)
+        assert summary.counters["reexec_ns"] > 0
+        assert summary.counters["slowdown"] >= 1.0
+        # Work is re-executed, never dropped.
+        assert summary.availability == 1.0
+
+    def test_spark_charges_poisoned_shuffle_bytes(self):
+        summary = run_faulted_app("spark", "meltdown", seed=SEED, quick=True)
+        assert summary.counters["poisoned_bytes"] > 0
+        assert summary.counters["slowdown"] > 1.0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("app,scenario", [
+        ("keydb", "device-flap"),
+        ("llm", "device-loss"),
+        ("spark", "meltdown"),
+    ])
+    def test_same_seed_identical_trace_and_summary(self, app, scenario):
+        a = run_faulted_app(app, scenario, seed=SEED, quick=True)
+        b = run_faulted_app(app, scenario, seed=SEED, quick=True)
+        assert a.trace == b.trace
+        assert a.counters == b.counters
+        assert a.faulted_throughput == b.faulted_throughput
+        assert a.availability == b.availability
+
+    def test_transient_fault_has_finite_recovery(self):
+        summary = run_faulted_app("keydb", "device-flap", seed=SEED, quick=True)
+        assert summary.report is not None
+        import math
+
+        assert math.isfinite(summary.report.recovery_ns)
+
+
+class TestDispatch:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown app"):
+            run_faulted_app("postgres", "device-loss")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault scenario"):
+            run_faulted_app("keydb", "asteroid")

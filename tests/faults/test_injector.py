@@ -1,0 +1,211 @@
+"""FaultInjector: platform sync, trace determinism, and poison gating."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeviceFaultError, PoisonedReadError
+from repro.faults import FaultInjector, FaultPlan
+from repro.hw.presets import paper_cxl_platform
+from repro.mem.page import Page
+
+
+def _platform():
+    return paper_cxl_platform()
+
+
+def _cxl_node(platform):
+    return platform.cxl_nodes()[0]
+
+
+class TestValidation:
+    def test_unknown_node_rejected(self):
+        platform = _platform()
+        plan = FaultPlan().fail_device(0.0, node_id=99)
+        with pytest.raises(ConfigurationError, match="unknown node"):
+            FaultInjector(platform, plan)
+
+    def test_unknown_resource_rejected(self):
+        platform = _platform()
+        plan = FaultPlan().degrade_link(0.0, 10.0, resource="no/such/link")
+        with pytest.raises(ConfigurationError, match="unknown resource"):
+            FaultInjector(platform, plan)
+
+
+class TestAdvance:
+    def test_link_degrade_sets_and_restores_derating(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        plan = FaultPlan().degrade_link(
+            100.0, 50.0, node_id=node.node_id, bandwidth_multiplier=0.25
+        )
+        injector = FaultInjector(platform, plan)
+        resource = node.resource.name
+
+        injector.advance(0.0)
+        assert platform.derating(resource) == 1.0
+        injector.advance(120.0)
+        assert platform.derating(resource) == 0.25
+        injector.advance(200.0)
+        assert platform.derating(resource) == 1.0
+
+    def test_device_fail_marks_offline_then_online(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        plan = FaultPlan().fail_device(100.0, node.node_id, duration_ns=50.0)
+        injector = FaultInjector(platform, plan)
+
+        injector.advance(99.0)
+        assert platform.is_online(node.node_id)
+        injector.advance(100.0)
+        assert not platform.is_online(node.node_id)
+        injector.advance(150.0)
+        assert platform.is_online(node.node_id)
+
+    def test_advance_is_idempotent(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        plan = FaultPlan().fail_device(100.0, node.node_id, duration_ns=50.0)
+        injector = FaultInjector(platform, plan)
+        for _ in range(5):
+            injector.advance(120.0)
+        # One transition, one trace line — not five.
+        assert len(injector.trace) == 1
+
+    def test_error_storm_transitions_traced(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        plan = FaultPlan().error_storm(100.0, 50.0, node.node_id)
+        injector = FaultInjector(platform, plan)
+        injector.advance(120.0)
+        injector.advance(200.0)
+        assert any("error storm" in line for line in injector.trace)
+        assert any("subsided" in line for line in injector.trace)
+
+    def test_trace_is_deterministic(self):
+        def run():
+            platform = _platform()
+            node = _cxl_node(platform)
+            plan = FaultPlan(seed=42)
+            plan.degrade_link(50.0, 25.0, node_id=node.node_id)
+            plan.fail_device(100.0, node.node_id, duration_ns=20.0)
+            injector = FaultInjector(platform, plan)
+            for t in (0.0, 60.0, 80.0, 105.0, 130.0):
+                injector.advance(t)
+            return list(injector.trace)
+
+        assert run() == run()
+        # degrade + restore per link in the node's chain (dev + pcie),
+        # plus one offline/online pair.
+        assert len(run()) == 6
+
+
+class TestPureQueries:
+    def test_multipliers_respect_windows(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        plan = FaultPlan()
+        plan.degrade_link(
+            100.0, 50.0, node_id=node.node_id,
+            bandwidth_multiplier=0.5, latency_multiplier=3.0,
+        )
+        plan.error_storm(120.0, 10.0, node.node_id, latency_multiplier=8.0)
+        injector = FaultInjector(platform, plan)
+
+        assert injector.latency_multiplier(node.node_id, 0.0) == 1.0
+        assert injector.latency_multiplier(node.node_id, 110.0) == 3.0
+        assert injector.latency_multiplier(node.node_id, 125.0) == 24.0  # stacked
+        assert injector.bandwidth_multiplier(node.node_id, 110.0) == 0.5
+        assert injector.bandwidth_multiplier(node.node_id, 200.0) == 1.0
+        # Queries never mutate platform state.
+        assert platform.derating(node.resource.name) == 1.0
+
+    def test_node_online_follows_plan_not_platform(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        plan = FaultPlan().fail_device(100.0, node.node_id, duration_ns=50.0)
+        injector = FaultInjector(platform, plan)
+        assert injector.node_online(node.node_id, 50.0)
+        assert not injector.node_online(node.node_id, 120.0)
+        assert injector.node_online(node.node_id, 200.0)
+
+    def test_poison_fraction_in_and_offline_overlap(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        plan = FaultPlan()
+        plan.poison(100.0, node.node_id, fraction=0.02)
+        plan.fail_device(200.0, node.node_id, duration_ns=50.0)
+        injector = FaultInjector(platform, plan)
+        assert injector.poison_fraction_in(node.node_id, 0.0, 99.0) == 0.0
+        assert injector.poison_fraction_in(node.node_id, 0.0, 101.0) == 0.02
+        assert injector.offline_overlap(node.node_id, 0.0, 1000.0) == 50.0
+        assert injector.offline_overlap(node.node_id, 210.0, 220.0) == 10.0
+
+
+class TestPoisonPages:
+    def _pages(self, node_id, n=100):
+        return [Page(i, node_id) for i in range(n)]
+
+    def test_poison_samples_bound_pages(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        pages = self._pages(node.node_id)
+        plan = FaultPlan(seed=3).poison(100.0, node.node_id, fraction=0.05)
+        injector = FaultInjector(platform, plan)
+        injector.bind_pages(lambda: pages)
+        injector.advance(100.0)
+        assert injector.poisoned_pages == 5
+        assert sum(injector.is_poisoned(p) for p in pages) == 5
+
+    def test_poison_selection_is_seed_deterministic(self):
+        def poisoned_ids(seed):
+            platform = _platform()
+            node = _cxl_node(platform)
+            pages = self._pages(node.node_id)
+            injector = FaultInjector(
+                platform, FaultPlan(seed=seed).poison(0.0, node.node_id, fraction=0.1)
+            )
+            injector.bind_pages(lambda: pages)
+            injector.advance(0.0)
+            return [p.page_id for p in pages if injector.is_poisoned(p)]
+
+        assert poisoned_ids(11) == poisoned_ids(11)
+        assert poisoned_ids(11) != poisoned_ids(12)
+
+    def test_check_read_raises_poisoned_until_scrubbed(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        pages = self._pages(node.node_id, n=10)
+        plan = FaultPlan(seed=1).poison(0.0, node.node_id, fraction=0.1)
+        injector = FaultInjector(platform, plan)
+        injector.bind_pages(lambda: pages)
+        injector.advance(0.0)
+        bad = next(p for p in pages if injector.is_poisoned(p))
+
+        with pytest.raises(PoisonedReadError):
+            injector.check_read(bad)
+        injector.scrub(bad)
+        injector.check_read(bad)  # clean now
+
+    def test_check_read_prefers_device_fault_over_poison(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        pages = self._pages(node.node_id, n=10)
+        plan = FaultPlan(seed=1)
+        plan.poison(0.0, node.node_id, fraction=1.0)
+        plan.fail_device(10.0, node.node_id)
+        injector = FaultInjector(platform, plan)
+        injector.bind_pages(lambda: pages)
+        injector.advance(10.0)
+        with pytest.raises(DeviceFaultError):
+            injector.check_read(pages[0])
+
+    def test_scrub_all_counts_cleared(self):
+        platform = _platform()
+        node = _cxl_node(platform)
+        pages = self._pages(node.node_id, n=20)
+        plan = FaultPlan(seed=9).poison(0.0, node.node_id, fraction=0.25)
+        injector = FaultInjector(platform, plan)
+        injector.bind_pages(lambda: pages)
+        injector.advance(0.0)
+        assert injector.scrub_all(pages) == 5
+        assert injector.poisoned_pages == 0
+        assert injector.scrub_all(pages) == 0

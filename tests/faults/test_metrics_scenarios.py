@@ -1,0 +1,146 @@
+"""RecoveryTracker metrics and the named scenario catalog."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    SCENARIOS,
+    FaultKind,
+    RecoveryTracker,
+    build_scenario,
+)
+from repro.hw.presets import paper_cxl_platform
+
+
+class TestRecoveryTracker:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryTracker(100.0, 50.0, window_ns=10.0)
+        with pytest.raises(ConfigurationError):
+            RecoveryTracker(0.0, 100.0, window_ns=0.0)
+        with pytest.raises(ConfigurationError):
+            RecoveryTracker(0.0, 100.0, window_ns=10.0, recovery_threshold=0.0)
+
+    def test_phase_partition(self):
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=10.0)
+        assert tracker.phase_of(99.0) == "before"
+        assert tracker.phase_of(100.0) == "during"
+        assert tracker.phase_of(199.0) == "during"
+        assert tracker.phase_of(200.0) == "after"
+
+    def test_availability_counts_shed_ops(self):
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=10.0)
+        for t in range(0, 80, 10):
+            tracker.record(float(t), 50.0, ok=True)
+        tracker.record(150.0, 0.0, ok=False)
+        tracker.record(160.0, 0.0, ok=False)
+        report = tracker.report()
+        assert report.offered_ops == 10
+        assert report.completed_ops == 8
+        assert report.failed_ops == 2
+        assert report.availability == pytest.approx(0.8)
+
+    def test_p99_per_phase(self):
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        for t in range(0, 100, 10):
+            tracker.record(float(t), 100.0)
+        for t in range(100, 200, 10):
+            tracker.record(float(t), 10_000.0)
+        for t in range(200, 300, 10):
+            tracker.record(float(t), 120.0)
+        report = tracker.report()
+        assert report.p99_during_ns > 10 * report.p99_before_ns
+        assert report.p99_after_ns < report.p99_during_ns
+
+    def test_recovery_time_measured_from_fault_end(self):
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        # Baseline: 2 ops per 50 ns window before the fault.
+        for t in (10.0, 30.0, 60.0, 80.0):
+            tracker.record(t, 50.0)
+        # During: starved.
+        tracker.record(150.0, 5_000.0)
+        # After: first full window [200, 250) back at baseline rate.
+        for t in (210.0, 230.0, 260.0, 280.0):
+            tracker.record(t, 60.0)
+        assert tracker.recovery_ns() == pytest.approx(50.0)
+
+    def test_never_recovering_run_reports_inf(self):
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        for t in (10.0, 30.0, 60.0, 80.0):
+            tracker.record(t, 50.0)
+        tracker.record(250.0, 5_000.0)  # post-fault trickle, below threshold
+        assert math.isinf(tracker.recovery_ns())
+
+    def test_permanent_fault_has_no_recovery(self):
+        tracker = RecoveryTracker(100.0, math.inf, window_ns=50.0)
+        for t in (10.0, 30.0, 60.0, 80.0, 300.0, 310.0):
+            tracker.record(t, 50.0)
+        assert math.isinf(tracker.recovery_ns())
+
+    def test_report_rows_render(self):
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        tracker.record(10.0, 50.0)
+        rows = tracker.report().rows()
+        assert len(rows) == 9
+        assert all(isinstance(k, str) and isinstance(v, str) for k, v in rows)
+
+
+class TestScenarioCatalog:
+    def test_catalog_contents(self):
+        assert set(SCENARIOS) == {
+            "link-degrade",
+            "error-storm",
+            "poison",
+            "device-loss",
+            "device-flap",
+            "meltdown",
+        }
+        assert SCENARIOS["device-flap"].transient
+        assert not SCENARIOS["device-loss"].transient
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault scenario"):
+            build_scenario("gamma-rays", paper_cxl_platform(), 0, (0.0, 100.0))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("device-flap", paper_cxl_platform(), 0, (-1.0, 100.0))
+        with pytest.raises(ConfigurationError):
+            build_scenario("device-flap", paper_cxl_platform(), 0, (0.0, 0.0))
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_builds_against_paper_platform(self, name):
+        platform = paper_cxl_platform()
+        cxl = {n.node_id for n in platform.cxl_nodes()}
+        plan = build_scenario(name, platform, seed=7, window=(1_000.0, 500.0))
+        assert len(plan) >= 1
+        assert plan.seed == 7
+        # Every scenario targets the CXL expander, inside the window.
+        for event in plan.events:
+            assert event.node_id in cxl
+            assert 1_000.0 <= event.start_ns <= 1_500.0
+
+    def test_device_loss_is_permanent_flap_is_not(self):
+        platform = paper_cxl_platform()
+        loss = build_scenario("device-loss", platform, 0, (100.0, 50.0))
+        flap = build_scenario("device-flap", platform, 0, (100.0, 50.0))
+        assert math.isinf(loss.events[0].end_ns)
+        assert flap.events[0].end_ns == 150.0
+
+    def test_meltdown_composes_three_modes(self):
+        platform = paper_cxl_platform()
+        plan = build_scenario("meltdown", platform, 0, (100.0, 100.0))
+        kinds = {e.kind for e in plan.events}
+        assert kinds == {
+            FaultKind.LINK_DEGRADE,
+            FaultKind.POISON,
+            FaultKind.DEVICE_FAIL,
+        }
+
+    def test_cxl_free_platform_rejected(self):
+        from repro.hw.presets import paper_baseline_platform
+
+        with pytest.raises(ConfigurationError, match="CXL"):
+            build_scenario("device-loss", paper_baseline_platform(), 0, (0.0, 100.0))

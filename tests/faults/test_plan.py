@@ -1,0 +1,118 @@
+"""FaultPlan / FaultEvent: validation, windows, and determinism."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+
+class TestFaultEventValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.DEVICE_FAIL, -1.0, 10.0, node_id=2)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.DEVICE_FAIL, 0.0, 0.0, node_id=2)
+
+    def test_link_degrade_needs_a_target(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.LINK_DEGRADE, 0.0, 10.0)
+
+    def test_link_degrade_bandwidth_bounds(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                FaultEvent(
+                    FaultKind.LINK_DEGRADE, 0.0, 10.0, node_id=2,
+                    bandwidth_multiplier=bad,
+                )
+
+    def test_link_degrade_latency_must_not_speed_up(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(
+                FaultKind.LINK_DEGRADE, 0.0, 10.0, node_id=2,
+                latency_multiplier=0.5,
+            )
+
+    def test_error_storm_needs_inflation(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(
+                FaultKind.ERROR_STORM, 0.0, 10.0, node_id=2,
+                latency_multiplier=1.0,
+            )
+
+    def test_poison_fraction_bounds(self):
+        for bad in (0.0, 1.5):
+            with pytest.raises(ConfigurationError):
+                FaultEvent(
+                    FaultKind.POISON, 0.0, 1.0, node_id=2, poison_fraction=bad
+                )
+
+    def test_device_fail_needs_node(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.DEVICE_FAIL, 0.0, 10.0)
+
+
+class TestFaultEventWindows:
+    def test_active_at_is_half_open(self):
+        event = FaultEvent(FaultKind.DEVICE_FAIL, 10.0, 5.0, node_id=2)
+        assert not event.active_at(9.999)
+        assert event.active_at(10.0)
+        assert event.active_at(14.999)
+        assert not event.active_at(15.0)
+
+    def test_permanent_fault_never_ends(self):
+        event = FaultEvent(FaultKind.DEVICE_FAIL, 10.0, math.inf, node_id=2)
+        assert math.isinf(event.end_ns)
+        assert event.active_at(1e18)
+
+    def test_overlap_clips_to_window(self):
+        event = FaultEvent(FaultKind.DEVICE_FAIL, 10.0, 10.0, node_id=2)
+        assert event.overlap_ns(0.0, 100.0) == 10.0
+        assert event.overlap_ns(15.0, 100.0) == 5.0
+        assert event.overlap_ns(0.0, 12.0) == 2.0
+        assert event.overlap_ns(30.0, 40.0) == 0.0
+        assert event.overlap_ns(40.0, 30.0) == 0.0  # degenerate interval
+
+
+class TestFaultPlan:
+    def _plan(self):
+        plan = FaultPlan(seed=7)
+        plan.fail_device(50.0, node_id=2, duration_ns=10.0)
+        plan.degrade_link(10.0, 30.0, node_id=2)
+        plan.error_storm(20.0, 5.0, node_id=2)
+        plan.poison(15.0, node_id=2)
+        return plan
+
+    def test_events_kept_sorted_by_start(self):
+        starts = [e.start_ns for e in self._plan().events]
+        assert starts == sorted(starts)
+
+    def test_events_of_filters_by_kind(self):
+        plan = self._plan()
+        assert len(plan.events_of(FaultKind.DEVICE_FAIL)) == 1
+        assert len(plan.events_of(FaultKind.POISON)) == 1
+        assert len(plan) == 4
+
+    def test_active_at_returns_covering_windows(self):
+        plan = self._plan()
+        kinds = {e.kind for e in plan.active_at(22.0)}
+        assert kinds == {FaultKind.LINK_DEGRADE, FaultKind.ERROR_STORM}
+
+    def test_window_spans_first_start_to_last_finite_end(self):
+        assert self._plan().window() == (10.0, 60.0)
+
+    def test_window_all_permanent_reports_inf_end(self):
+        plan = FaultPlan().fail_device(30.0, node_id=2)
+        start, end = plan.window()
+        assert start == 30.0
+        assert math.isinf(end)
+
+    def test_empty_plan_window(self):
+        assert FaultPlan().window() == (0.0, 0.0)
+
+    def test_describe_is_deterministic(self):
+        assert self._plan().describe() == self._plan().describe()
+        assert "device-fail @ node2" in self._plan().describe()[-1]

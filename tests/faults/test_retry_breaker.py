@@ -1,0 +1,144 @@
+"""Retry budgets and circuit-breaker state transitions."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DeviceFaultError,
+    RetryExhaustedError,
+)
+from repro.faults import BreakerState, CircuitBreaker, RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_ns=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_backoff_ns=100.0, multiplier=2.0,
+            max_backoff_ns=500.0,
+        )
+        assert policy.backoff_ns(1) == 100.0
+        assert policy.backoff_ns(2) == 200.0
+        assert policy.backoff_ns(3) == 400.0
+        assert policy.backoff_ns(4) == 500.0  # capped
+        assert policy.backoff_ns(5) == 500.0
+
+    def test_backoff_is_one_based(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_ns(0)
+
+    def test_total_backoff_sums_retries_not_attempts(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_backoff_ns=100.0, multiplier=2.0,
+            max_backoff_ns=1e9,
+        )
+        # 3 retries after attempts 1..3: 100 + 200 + 400.
+        assert policy.total_backoff_ns() == 700.0
+
+    def test_default_policy_budget(self):
+        # The documented default: 200us, 400us, 800us = 1.4 ms total.
+        assert RetryPolicy().total_backoff_ns() == pytest.approx(1.4e6)
+
+
+class TestRetryCall:
+    def test_success_on_first_attempt(self):
+        result, attempts, backoff = retry_call(lambda a: "ok", RetryPolicy())
+        assert (result, attempts, backoff) == ("ok", 1, 0.0)
+
+    def test_retries_fault_errors_until_success(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 3:
+                raise DeviceFaultError(2)
+            return "recovered"
+
+        policy = RetryPolicy(max_attempts=4, base_backoff_ns=100.0, multiplier=2.0)
+        result, attempts, backoff = retry_call(flaky, policy)
+        assert result == "recovered"
+        assert attempts == 3
+        assert calls == [1, 2, 3]
+        assert backoff == 100.0 + 200.0
+
+    def test_exhaustion_raises_after_budget(self):
+        backoffs = []
+
+        def always_fails(attempt):
+            raise DeviceFaultError(2)
+
+        policy = RetryPolicy(max_attempts=3, base_backoff_ns=100.0, multiplier=2.0)
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_call(always_fails, policy, on_backoff=lambda a, b: backoffs.append(b))
+        # Backed off exactly between attempts, never after the last one.
+        assert backoffs == [100.0, 200.0]
+        assert info.value.attempts == 3
+        assert isinstance(info.value.last_error, DeviceFaultError)
+
+    def test_non_fault_errors_propagate_immediately(self):
+        calls = []
+
+        def broken(attempt):
+            calls.append(attempt)
+            raise ValueError("a bug, not a fault")
+
+        with pytest.raises(ValueError):
+            retry_call(broken, RetryPolicy(max_attempts=5))
+        assert calls == [1]
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_timeout_ns=0.0)
+
+    def test_trips_open_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_ns=100.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+        assert not breaker.allow(50.0)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout_ns=100.0)
+        breaker.record_failure(0.0)
+        breaker.record_success(1.0)
+        breaker.record_failure(2.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_ns=100.0)
+        breaker.record_failure(0.0)
+        assert breaker.is_open
+        # Before the reset timeout: still rejecting.
+        assert not breaker.allow(50.0)
+        # After: one probe admitted, extra traffic still rejected.
+        assert breaker.allow(150.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(151.0)
+        breaker.record_success(160.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(161.0)
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_ns=100.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(150.0)  # probe
+        breaker.record_failure(160.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        # The reset clock restarts from the re-open.
+        assert not breaker.allow(200.0)
+        assert breaker.allow(260.0)

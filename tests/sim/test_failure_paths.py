@@ -1,0 +1,233 @@
+"""Failure-path semantics of the event engine.
+
+These pin down the corners the happy-path tests never visit: how
+exceptions travel through ``Event.fail``, nested processes, combinators
+with already-dispatched children, and ``run_until_event`` limits.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import AllOf, AnyOf, Simulator
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestEventFail:
+    def test_fail_requires_exception_instance(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_fail_anchors_traceback(self):
+        sim = Simulator()
+        exc = Boom("fresh, never raised")
+        assert exc.__traceback__ is None
+        sim.event().fail(exc)
+        assert exc.__traceback__ is not None
+
+    def test_fail_preserves_existing_traceback(self):
+        sim = Simulator()
+        try:
+            raise Boom("raised before fail")
+        except Boom as caught:
+            exc = caught
+        tb = exc.__traceback__
+        sim.event().fail(exc)
+        assert exc.__traceback__ is tb
+
+    def test_run_until_event_reraises_failure(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(Boom("kaboom"))
+        with pytest.raises(Boom, match="kaboom"):
+            sim.run_until_event(ev)
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(Boom())
+        with pytest.raises(SimulationError):
+            ev.fail(Boom())
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+
+class TestProcessFailurePropagation:
+    def test_failure_throws_into_waiting_process(self):
+        sim = Simulator()
+        ev = ev_holder = sim.event()
+        seen = []
+
+        def proc():
+            try:
+                yield ev_holder
+            except Boom as exc:
+                seen.append(exc)
+            return "survived"
+
+        def traffic():  # unrelated activity keeps the heap busy
+            yield sim.timeout(5.0)
+
+        done = sim.process(proc())
+        sim.process(traffic())
+        ev.fail(Boom("injected"))
+        value = sim.run_until_event(done)
+        assert value == "survived"
+        assert len(seen) == 1
+
+    def test_failure_propagates_through_nested_processes(self):
+        sim = Simulator()
+
+        def inner():
+            yield sim.timeout(1.0)
+            raise Boom("inner crash")
+
+        def middle():
+            yield sim.process(inner())
+
+        def outer():
+            yield sim.process(middle())
+
+        done = sim.process(outer())
+        with pytest.raises(Boom, match="inner crash"):
+            sim.run_until_event(done)
+
+    def test_swallowed_failure_is_chained_as_context(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def proc():
+            try:
+                yield ev
+            except Boom:
+                pass  # swallow...
+            raise ValueError("secondary")  # ...then fail differently
+
+        done = sim.process(proc())
+        ev.fail(Boom("original"))
+        with pytest.raises(ValueError, match="secondary") as info:
+            sim.run_until_event(done)
+        assert isinstance(info.value.__context__, Boom)
+
+    def test_unwaited_process_crash_raises_from_run(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            raise Boom("nobody waiting")
+
+        sim.process(proc())
+        with pytest.raises(Boom, match="nobody waiting"):
+            sim.run()
+
+    def test_yielding_failed_dispatched_event_still_throws(self):
+        """A failed event that already dispatched must not look successful."""
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(Boom("early"))
+        sim.run()  # dispatch with no waiters
+        assert ev.dispatched and ev.failed
+
+        def late():
+            with pytest.raises(Boom, match="early"):
+                yield ev
+            return "caught"
+
+        done = sim.process(late())
+        assert sim.run_until_event(done) == "caught"
+
+
+class TestRunUntilEventLimit:
+    def test_limit_reached_before_event(self):
+        sim = Simulator()
+
+        def slow():
+            yield sim.timeout(100.0)
+            return "too late"
+
+        with pytest.raises(SimulationError, match="time limit"):
+            sim.run_until_event(sim.process(slow()), limit=10.0)
+
+    def test_event_within_limit_returns_value(self):
+        sim = Simulator()
+
+        def prompt():
+            yield sim.timeout(5.0)
+            return "made it"
+
+        assert sim.run_until_event(sim.process(prompt()), limit=10.0) == "made it"
+
+    def test_drained_heap_raises(self):
+        sim = Simulator()
+        never = sim.event()
+        with pytest.raises(SimulationError, match="drained"):
+            sim.run_until_event(never)
+
+
+class TestCombinatorsWithDispatchedChildren:
+    def test_anyof_with_dispatched_successful_child_fires(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("first")
+        sim.run()  # dispatch; callback list now dead
+        any_of = AnyOf(sim, [ev, sim.event()])
+        assert sim.run_until_event(any_of) == "first"
+
+    def test_anyof_with_dispatched_failed_child_fails(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(Boom("already over"))
+        sim.run()
+        any_of = AnyOf(sim, [ev, sim.timeout(50.0)])
+        with pytest.raises(Boom, match="already over"):
+            sim.run_until_event(any_of)
+
+    def test_anyof_pending_children_still_race(self):
+        sim = Simulator()
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(9.0, value="slow")
+        assert sim.run_until_event(AnyOf(sim, [slow, fast])) == "fast"
+
+    def test_allof_with_dispatched_children_collects_values(self):
+        sim = Simulator()
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+        all_of = AllOf(sim, [done, sim.timeout(3.0, value="late")])
+        assert sim.run_until_event(all_of) == ["early", "late"]
+
+    def test_allof_with_dispatched_failed_child_fails(self):
+        sim = Simulator()
+        bad = sim.event()
+        bad.fail(Boom("pre-failed"))
+        sim.run()
+        all_of = AllOf(sim, [bad, sim.timeout(3.0)])
+        with pytest.raises(Boom, match="pre-failed"):
+            sim.run_until_event(all_of)
+
+    def test_allof_pending_child_failure_fails_combinator(self):
+        sim = Simulator()
+        ok = sim.timeout(1.0)
+        bad = sim.event()
+        all_of = AllOf(sim, [ok, bad])
+        bad.fail(Boom("late failure"))
+        with pytest.raises(Boom, match="late failure"):
+            sim.run_until_event(all_of)
+
+    def test_process_waits_on_anyof_of_processes(self):
+        sim = Simulator()
+
+        def worker(delay, tag):
+            yield sim.timeout(delay)
+            return tag
+
+        def coordinator():
+            winner = yield AnyOf(
+                sim, [sim.process(worker(7.0, "slow")), sim.process(worker(2.0, "quick"))]
+            )
+            return winner
+
+        assert sim.run_until_event(sim.process(coordinator())) == "quick"

@@ -65,3 +65,18 @@ class TestCommands:
     def test_advise_low_demand(self, capsys):
         assert main(["advise", "--demand-gbps", "5"]) == 0
         assert "dram-only-ok" in capsys.readouterr().out
+
+    def test_faults_list(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("link-degrade", "poison", "device-loss", "meltdown"):
+            assert name in out
+
+    def test_faults_run_quick(self, capsys):
+        assert main(
+            ["faults", "run", "device-flap", "--app", "keydb", "--quick"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "keydb under device-flap" in out
+        assert "fault trace:" in out
+        assert "OFFLINE" in out
