@@ -20,12 +20,17 @@ thread-contention component of the tails.
 
 from __future__ import annotations
 
-from typing import Dict
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
 
 from ...errors import ConfigurationError
+from ...faults.injector import FaultInjector
 from ...hw.paths import MemoryPath
 from ...hw.topology import Platform
-from ...sim.engine import Simulator
+from ...overload.policy import REASON_QUEUE_FULL, OverloadController
+from ...sim.engine import Event, Simulator
 from ...sim.resources import Resource
 from ...workloads.ycsb import YcsbGenerator
 from .server import KeyDbResult
@@ -45,6 +50,7 @@ class DesKeyDbServer:
         socket: int = 0,
         clients: int = 16,
         utilization_refresh_ops: int = 2000,
+        overload: Optional[OverloadController] = None,
     ) -> None:
         if threads <= 0 or clients <= 0:
             raise ConfigurationError("threads and clients must be positive")
@@ -56,9 +62,14 @@ class DesKeyDbServer:
         self.socket = socket
         self.clients = clients
         self.refresh_ops = utilization_refresh_ops
+        self.overload = overload
         self._paths: Dict[int, MemoryPath] = {}
         self._utilization: Dict[str, float] = {}
         self._lat_cache: Dict[int, Dict[int, float]] = {}
+
+    def attach_overload(self, controller: OverloadController) -> None:
+        """Enable admission control and deadline shedding on this server."""
+        self.overload = controller
 
     def _path(self, node_id: int) -> MemoryPath:
         if node_id not in self._paths:
@@ -116,6 +127,17 @@ class DesKeyDbServer:
                 state["issued"] += 1
                 op = generator.next_operation()
                 arrival = sim.now
+                request = None
+                if self.overload is not None:
+                    request = self.overload.make_request(
+                        arrival,
+                        priority=state["issued"]
+                        % self.overload.policy.priority_levels,
+                    )
+                    admitted, _ = self.overload.try_admit(request, arrival)
+                    if not admitted:
+                        result.counters.add("ops_rejected", 1)
+                        continue
                 grant = server_threads.request()
                 yield grant
                 if op.is_write:
@@ -123,9 +145,23 @@ class DesKeyDbServer:
                 else:
                     plan = self.store.plan_get(op.key, sim.now)
                 service = self._price(plan)
+                if (
+                    request is not None
+                    and self.overload.policy.shed_doomed
+                    and request.doomed(sim.now, service)
+                ):
+                    # The thread is free again but the response could not
+                    # arrive in time: shed before burning the service time.
+                    server_threads.release()
+                    result.counters.add("ops_shed_doomed", 1)
+                    self.overload.shed(request, sim.now)
+                    continue
                 yield sim.timeout(service)
                 server_threads.release()
                 total_latency = sim.now - arrival  # queueing + service
+                if request is not None:
+                    if not self.overload.complete(request, sim.now, total_latency):
+                        result.counters.add("deadline_misses", 1)
                 if plan.is_write:
                     result.write_latency.record(total_latency)
                 else:
@@ -148,12 +184,173 @@ class DesKeyDbServer:
                     refresh_anchor["t"] = sim.now
                     node_bytes.clear()
                     node_write_bytes.clear()
+                    if self.overload is not None:
+                        self.overload.note_utilization(
+                            max(self._utilization.values(), default=0.0), sim.now
+                        )
 
         for _ in range(self.clients):
             sim.process(client())
         sim.run()
         result.ops = state["done"]
         result.elapsed_ns = sim.now
+        return result
+
+    def run_open_loop(
+        self,
+        generator: YcsbGenerator,
+        arrival_rate_ops_per_s: float,
+        duration_ns: float,
+        seed: int = 0,
+        injector: Optional[FaultInjector] = None,
+    ) -> KeyDbResult:
+        """Open-loop (Poisson-arrival) run for the overload experiments.
+
+        Unlike the closed loop — which self-clocks and can never
+        overload the server — arrivals here come at a fixed offered
+        rate regardless of completions, so offered load past the
+        capacity knee piles into the admission queue.  With an
+        :class:`~repro.overload.policy.OverloadController` attached,
+        the bounded queue rejects the excess, expired waiters are shed
+        at dispatch, and doomed work is dropped before service; without
+        one the queue is unbounded and latency grows without bound —
+        the uncontrolled baseline of the goodput experiments.
+        """
+        if arrival_rate_ops_per_s <= 0:
+            raise ConfigurationError("arrival_rate_ops_per_s must be positive")
+        if duration_ns <= 0:
+            raise ConfigurationError("duration_ns must be positive")
+        sim = Simulator()
+        rng = np.random.default_rng(seed)
+        result = KeyDbResult()
+        self._latency_tables()
+        queue = self.overload.new_queue() if self.overload is not None else None
+        backlog: Deque = deque()  # uncontrolled path: unbounded FIFO
+        idle: Deque[Event] = deque()
+        state = {"done": 0, "since_refresh": 0, "closed": False}
+        node_bytes: Dict[int, float] = {}
+        node_write_bytes: Dict[int, float] = {}
+        refresh_anchor = {"t": 0.0}
+        mean_gap_ns = 1e9 / arrival_rate_ops_per_s
+        stop = object()  # sentinel waking idle workers at shutdown
+
+        def take_next():
+            if queue is not None:
+                return queue.take(sim.now)
+            return backlog.popleft() if backlog else None
+
+        def arrivals():
+            seq = 0
+            while True:
+                yield sim.timeout(rng.exponential(mean_gap_ns))
+                if sim.now >= duration_ns:
+                    break
+                if injector is not None:
+                    injector.advance(sim.now)
+                op = generator.next_operation()
+                if self.overload is not None:
+                    request = self.overload.make_request(
+                        sim.now,
+                        priority=seq % self.overload.policy.priority_levels,
+                    )
+                    request.payload = op
+                    if queue.full:
+                        self.overload.metrics.reject(REASON_QUEUE_FULL)
+                        queue.rejected_full += 1
+                        result.counters.add("ops_rejected", 1)
+                        seq += 1
+                        continue
+                    admitted, _ = self.overload.try_admit(request, sim.now)
+                    if not admitted:
+                        result.counters.add("ops_rejected", 1)
+                        seq += 1
+                        continue
+                    queue.offer(request)
+                else:
+                    backlog.append((sim.now, op))
+                if idle:
+                    idle.popleft().succeed()
+                seq += 1
+            state["closed"] = True
+            while idle:
+                idle.popleft().succeed(stop)
+
+        def worker():
+            while True:
+                entry = take_next()
+                if entry is None:
+                    if state["closed"]:
+                        return
+                    gate = sim.event()
+                    idle.append(gate)
+                    value = yield gate
+                    if value is stop:
+                        return
+                    continue
+                if queue is not None:
+                    request, op = entry, entry.payload
+                    arrival = entry.arrival_ns
+                else:
+                    request = None
+                    arrival, op = entry
+                if op.is_write:
+                    plan = self.store.plan_set(op.key, sim.now)
+                else:
+                    plan = self.store.plan_get(op.key, sim.now)
+                service = self._price(plan)
+                if injector is not None:
+                    service *= injector.latency_multiplier(
+                        plan.value_page.node_id, sim.now
+                    )
+                if (
+                    request is not None
+                    and self.overload.policy.shed_doomed
+                    and request.doomed(sim.now, service)
+                ):
+                    result.counters.add("ops_shed_doomed", 1)
+                    self.overload.shed(request, sim.now)
+                    continue
+                yield sim.timeout(service)
+                latency = sim.now - arrival  # queueing + service
+                if request is not None:
+                    if not self.overload.complete(request, sim.now, latency):
+                        result.counters.add("deadline_misses", 1)
+                if plan.is_write:
+                    result.write_latency.record(latency)
+                else:
+                    result.read_latency.record(latency)
+                node = plan.value_page.node_id
+                touched = plan.value_bytes + 64 * (
+                    plan.struct_accesses + plan.value_accesses
+                )
+                node_bytes[node] = node_bytes.get(node, 0.0) + touched
+                if plan.is_write:
+                    node_write_bytes[node] = (
+                        node_write_bytes.get(node, 0.0) + touched
+                    )
+                state["done"] += 1
+                state["since_refresh"] += 1
+                if state["since_refresh"] >= self.refresh_ops:
+                    state["since_refresh"] = 0
+                    self._refresh(node_bytes, node_write_bytes,
+                                  sim.now - refresh_anchor["t"])
+                    refresh_anchor["t"] = sim.now
+                    node_bytes.clear()
+                    node_write_bytes.clear()
+                    if self.overload is not None:
+                        self.overload.note_utilization(
+                            max(self._utilization.values(), default=0.0),
+                            sim.now,
+                        )
+
+        sim.process(arrivals())
+        for _ in range(self.threads):
+            sim.process(worker())
+        sim.run()
+        if queue is not None:
+            result.counters.add("ops_shed_expired", queue.shed_expired)
+        result.ops = state["done"]
+        result.elapsed_ns = max(sim.now, duration_ns)
         return result
 
     def _refresh(

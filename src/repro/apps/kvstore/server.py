@@ -42,6 +42,7 @@ from ...hw.paths import MemoryPath
 from ...hw.topology import Platform
 from ...mem.page import Page
 from ...mem.tiering.base import TieringDaemon
+from ...overload.policy import OverloadController
 from ...sim.stats import Counter, LatencyHistogram
 from ...units import gb_per_s
 from ...workloads.ycsb import YcsbGenerator
@@ -113,6 +114,8 @@ class KeyDbServer:
         self.faults: Optional[FaultInjector] = None
         self.retry_policy = RetryPolicy()
         self.recovery: Optional[RecoveryTracker] = None
+        self.overload: Optional[OverloadController] = None
+        self._op_seq = 0
 
     def attach_faults(
         self,
@@ -134,6 +137,26 @@ class KeyDbServer:
             self.retry_policy = retry_policy
         self.recovery = tracker
         injector.bind_pages(lambda: self.store.pages)
+        if self.overload is not None and not self.overload.has_fault_signal:
+            self.overload.bind_faults(injector)
+
+    def attach_overload(self, controller: OverloadController) -> None:
+        """Enable overload protection: admission, deadlines, shedding.
+
+        Each operation becomes a :class:`~repro.overload.deadline.Request`
+        stamped with an absolute deadline from the policy's budget.
+        Admission runs the controller's pipeline (capacity-loss priority
+        floor, token bucket, concurrency); admitted operations that can
+        no longer meet their deadline at the current loaded latencies
+        are shed *before* being priced — the doomed work never occupies
+        a server thread.  Priorities are assigned round-robin across the
+        policy's classes (YCSB has no native priority notion).
+
+        Without a controller the server behaves exactly as before.
+        """
+        self.overload = controller
+        if self.faults is not None and not controller.has_fault_signal:
+            controller.bind_faults(self.faults)
 
     def _path(self, node_id: int) -> MemoryPath:
         if node_id not in self._paths:
@@ -296,6 +319,21 @@ class KeyDbServer:
             shed = 0
             read_lat, write_lat, struct_read, struct_write = self._epoch_latency_tables()
             for plan in plans:
+                request = None
+                if self.overload is not None:
+                    arrival = self.now_ns + epoch_busy_ns / self.threads
+                    request = self.overload.make_request(
+                        arrival,
+                        priority=self._op_seq % self.overload.policy.priority_levels,
+                    )
+                    self._op_seq += 1
+                    admitted, _ = self.overload.try_admit(request, arrival)
+                    if not admitted:
+                        shed += 1
+                        result.counters.add("ops_rejected", 1)
+                        if measuring and self.recovery is not None:
+                            self.recovery.record(arrival, 0.0, ok=False)
+                        continue
                 fault_extra = 0.0
                 if self.faults is not None:
                     serviceable, fault_extra = self._apply_fault_policy(
@@ -305,6 +343,12 @@ class KeyDbServer:
                     if not serviceable:
                         shed += 1
                         result.counters.add("ops_shed", 1)
+                        if request is not None:
+                            self.overload.shed(
+                                request,
+                                self.now_ns + epoch_busy_ns / self.threads,
+                                reason="fault",
+                            )
                         if measuring and self.recovery is not None:
                             self.recovery.record(
                                 self.now_ns + epoch_busy_ns / self.threads,
@@ -315,7 +359,28 @@ class KeyDbServer:
                 t = self._price(
                     plan, ssd_utilization, read_lat, write_lat, struct_read, struct_write
                 )
+                if (
+                    request is not None
+                    and self.overload.policy.shed_doomed
+                    and request.doomed(request.arrival_ns + fault_extra, t)
+                ):
+                    # The op cannot meet its deadline even if serviced
+                    # now: shed it before it occupies a server thread.
+                    shed += 1
+                    result.counters.add("ops_shed_doomed", 1)
+                    self.overload.shed(request, request.arrival_ns)
+                    if measuring and self.recovery is not None:
+                        self.recovery.record(request.arrival_ns, 0.0, ok=False)
+                    continue
                 epoch_busy_ns += t
+                finish_ns = self.now_ns + epoch_busy_ns / self.threads
+                deadline_missed: Optional[bool] = None
+                if request is not None:
+                    deadline_missed = not self.overload.complete(
+                        request, finish_ns, t + fault_extra
+                    )
+                    if deadline_missed:
+                        result.counters.add("deadline_misses", 1)
                 if measuring:
                     if plan.is_write:
                         result.write_latency.record(t + fault_extra)
@@ -323,9 +388,10 @@ class KeyDbServer:
                         result.read_latency.record(t + fault_extra)
                     if self.recovery is not None:
                         self.recovery.record(
-                            self.now_ns + epoch_busy_ns / self.threads,
+                            finish_ns,
                             t + fault_extra,
                             ok=True,
+                            deadline_missed=deadline_missed,
                         )
                 ssd_bytes += plan.ssd_read_bytes + plan.ssd_write_bytes
                 node = plan.value_page.node_id
@@ -357,6 +423,10 @@ class KeyDbServer:
             # Refresh utilizations and the access-weighted node mix from
             # this epoch's traffic.
             self._refresh_utilization(node_read_bytes, node_write_bytes, epoch_ns)
+            if self.overload is not None:
+                self.overload.note_utilization(
+                    max(self._utilization.values(), default=0.0), self.now_ns
+                )
             total_touched = sum(node_read_bytes.values()) + sum(node_write_bytes.values())
             if total_touched > 0:
                 self._access_mix = {

@@ -12,7 +12,9 @@ paper-style rows/series::
     repro cost --r-d 10 --r-c 8 --c 2 --r-t 1.1
     repro advise --demand-gbps 55 --write-fraction 0.2
     repro faults list                     # RAS scenario catalog
-    repro faults run device-loss --app keydb --quick
+    repro faults run device-loss --app keydb --quick --json
+    repro overload sweep --quick          # offered load vs goodput
+    repro overload faults --quick         # shedding vs uncontrolled
 
 The same runners back ``pytest benchmarks/``; the CLI is the
 no-test-harness path for interactive exploration.
@@ -205,10 +207,13 @@ def _cmd_faults_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults_run(args: argparse.Namespace) -> int:
+    import json
+
     from .errors import ConfigurationError
     from .faults import FAULT_APPS, run_faulted_app
 
     apps = sorted(FAULT_APPS) if args.app == "all" else [args.app]
+    payload = []
     for app in apps:
         try:
             summary = run_faulted_app(
@@ -217,6 +222,9 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.json:
+            payload.append(summary.as_dict())
+            continue
         print(ascii_table(
             ["quantity", "value"], summary.rows(),
             title=f"\n{app} under {args.scenario} (seed {args.seed})",
@@ -225,6 +233,96 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
             print("fault trace:")
             for line in summary.trace:
                 print(f"  {line}")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_overload_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ConfigurationError
+    from .overload import sweep_offered_load
+
+    try:
+        factors = [float(f) for f in args.factors.split(",") if f.strip()]
+    except ValueError:
+        print(f"error: --factors must be comma-separated numbers, got {args.factors!r}",
+              file=sys.stderr)
+        return 2
+    if not factors or any(f <= 0 for f in factors):
+        print("error: --factors needs at least one positive load factor",
+              file=sys.stderr)
+        return 2
+    record_count = 4096 if args.quick else 16_384
+    duration_ns = 20e6 if args.quick else 40e6
+    modes = [True, False] if args.mode == "both" else [args.mode == "controlled"]
+    payload = []
+    for controlled in modes:
+        try:
+            summaries = sweep_offered_load(
+                factors=factors,
+                controlled=controlled,
+                duration_ns=duration_ns,
+                record_count=record_count,
+                seed=args.seed,
+            )
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            payload.extend(s.as_dict() for s in summaries)
+            continue
+        mode = "controlled" if controlled else "uncontrolled"
+        rows = [
+            (
+                f"{s.load_factor:.2f}x",
+                f"{s.offered}",
+                f"{s.goodput_ops_per_s / 1e3:.0f}",
+                f"{s.throughput_ops_per_s / 1e3:.0f}",
+                f"{s.shed_rate * 100:.1f}%",
+                f"{s.deadline_miss_rate * 100:.1f}%",
+                "n/a" if s.p99_ns != s.p99_ns else f"{s.p99_ns / 1e3:.1f}",
+            )
+            for s in summaries
+        ]
+        print(ascii_table(
+            ["load", "offered", "goodput k/s", "tput k/s",
+             "shed", "miss", "p99 us"],
+            rows,
+            title=f"\nOffered load vs goodput ({mode}, open-loop KeyDB)",
+        ))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_overload_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ConfigurationError
+    from .overload import run_fault_comparison
+
+    record_count = 4096 if args.quick else 16_384
+    duration_ns = 20e6 if args.quick else 40e6
+    try:
+        out = run_fault_comparison(
+            scenario=args.scenario,
+            duration_ns=duration_ns,
+            record_count=record_count,
+            seed=args.seed,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps({k: s.as_dict() for k, s in out.items()}, indent=2))
+        return 0
+    for label, summary in out.items():
+        print(ascii_table(
+            ["quantity", "value"], summary.rows(),
+            title=f"\n{label} under {args.scenario}",
+        ))
     return 0
 
 
@@ -282,7 +380,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seed (decimal or 0x-hex; same seed, same fault trace)",
     )
     fp.add_argument("--quick", action="store_true", help="small, fast run")
+    fp.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON instead of tables")
     fp.set_defaults(func=_cmd_faults_run)
+
+    p = sub.add_parser("overload", help="admission control & goodput (overload layer)")
+    osub = p.add_subparsers(dest="overload_command", required=True)
+    op = osub.add_parser("sweep", help="offered load vs goodput curve")
+    op.add_argument(
+        "--factors", default="0.5,0.75,1.0,1.25,1.5",
+        help="comma-separated offered-load factors of calibrated capacity",
+    )
+    op.add_argument(
+        "--mode", choices=("controlled", "uncontrolled", "both"), default="both",
+        help="admission control on, off, or both (default: both)",
+    )
+    op.add_argument("--seed", type=_nonnegative_seed, default=0xC0FFEE)
+    op.add_argument("--quick", action="store_true", help="small, fast run")
+    op.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON instead of tables")
+    op.set_defaults(func=_cmd_overload_sweep)
+    op = osub.add_parser("faults", help="SLO-aware shedding vs uncontrolled under a fault")
+    op.add_argument(
+        "--scenario", default="link-degrade",
+        help="fault scenario name (see 'faults list')",
+    )
+    op.add_argument("--seed", type=_nonnegative_seed, default=0xC0FFEE)
+    op.add_argument("--quick", action="store_true", help="small, fast run")
+    op.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON instead of tables")
+    op.set_defaults(func=_cmd_overload_faults)
 
     p = sub.add_parser("advise", help="configuration advisor (§3.4/§5.3)")
     p.add_argument("--demand-gbps", type=float, default=50.0)

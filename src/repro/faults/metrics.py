@@ -17,8 +17,8 @@ evaluation cares about:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..sim.stats import LatencyHistogram
@@ -42,6 +42,21 @@ class FaultRecoveryReport:
     recovery_ns: float
     fault_start_ns: float
     fault_end_ns: float
+    #: Overload accounting (populated when the run tracked deadlines).
+    deadline_misses: int = 0
+    good_ops: int = 0
+    goodput_ops_per_s: float = 0.0
+    #: completed/failed/deadline-missed counts per phase.
+    phase_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: True when the run propagated deadlines (enables goodput rows).
+    deadline_tracking: bool = False
+
+    @staticmethod
+    def _us(value_ns: float) -> str:
+        """Format a latency in microseconds; NaN renders as n/a."""
+        if math.isnan(value_ns):
+            return "n/a (no samples)"
+        return f"{value_ns / 1e3:.1f} us"
 
     def rows(self) -> List[Tuple[str, str]]:
         """(quantity, value) pairs for ascii_table rendering."""
@@ -50,14 +65,14 @@ class FaultRecoveryReport:
             if math.isinf(self.recovery_ns)
             else f"{self.recovery_ns / 1e6:.2f} ms"
         )
-        return [
+        rows = [
             ("offered ops", f"{self.offered_ops}"),
             ("completed ops", f"{self.completed_ops}"),
             ("failed/shed ops", f"{self.failed_ops}"),
             ("availability", f"{self.availability * 100:.3f}%"),
-            ("p99 before fault", f"{self.p99_before_ns / 1e3:.1f} us"),
-            ("p99 during fault", f"{self.p99_during_ns / 1e3:.1f} us"),
-            ("p99 after fault", f"{self.p99_after_ns / 1e3:.1f} us"),
+            ("p99 before fault", self._us(self.p99_before_ns)),
+            ("p99 during fault", self._us(self.p99_during_ns)),
+            ("p99 after fault", self._us(self.p99_after_ns)),
             (
                 "throughput during/baseline",
                 f"{self.during_throughput_ops_per_s:.0f} / "
@@ -65,6 +80,41 @@ class FaultRecoveryReport:
             ),
             ("recovery time", recovery),
         ]
+        if self.deadline_tracking:
+            rows.extend(
+                [
+                    ("in-deadline (good) ops", f"{self.good_ops}"),
+                    ("deadline misses", f"{self.deadline_misses}"),
+                    ("goodput", f"{self.goodput_ops_per_s:.0f} ops/s"),
+                ]
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot (inf/NaN become None)."""
+
+        def _num(value: float) -> Optional[float]:
+            return None if math.isinf(value) or math.isnan(value) else value
+
+        return {
+            "offered_ops": self.offered_ops,
+            "completed_ops": self.completed_ops,
+            "failed_ops": self.failed_ops,
+            "availability": self.availability,
+            "p99_before_ns": _num(self.p99_before_ns),
+            "p99_during_ns": _num(self.p99_during_ns),
+            "p99_after_ns": _num(self.p99_after_ns),
+            "baseline_throughput_ops_per_s": self.baseline_throughput_ops_per_s,
+            "during_throughput_ops_per_s": self.during_throughput_ops_per_s,
+            "recovery_ns": _num(self.recovery_ns),
+            "fault_start_ns": self.fault_start_ns,
+            "fault_end_ns": _num(self.fault_end_ns),
+            "deadline_misses": self.deadline_misses,
+            "good_ops": self.good_ops,
+            "goodput_ops_per_s": self.goodput_ops_per_s,
+            "phase_counts": self.phase_counts,
+            "deadline_tracking": self.deadline_tracking,
+        }
 
 
 class RecoveryTracker:
@@ -97,6 +147,14 @@ class RecoveryTracker:
         #: completions per time window (window index -> ops).
         self._windows: Dict[int, int] = {}
         self._last_ns = 0.0
+        #: per-phase completed/failed/deadline-missed breakdown.
+        self.phase_counts: Dict[str, Dict[str, int]] = {
+            phase: {"completed": 0, "failed": 0, "deadline_missed": 0}
+            for phase in ("before", "during", "after")
+        }
+        self.deadline_misses = 0
+        self.good = 0
+        self._deadline_tracking = False
 
     def phase_of(self, now_ns: float) -> str:
         """Which phase of the run a completion at ``now_ns`` belongs to."""
@@ -106,17 +164,39 @@ class RecoveryTracker:
             return "during"
         return "after"
 
-    def record(self, now_ns: float, latency_ns: float, ok: bool = True) -> None:
-        """Account one operation finishing (or being shed) at ``now_ns``."""
+    def record(
+        self,
+        now_ns: float,
+        latency_ns: float,
+        ok: bool = True,
+        deadline_missed: Optional[bool] = None,
+    ) -> None:
+        """Account one operation finishing (or being shed) at ``now_ns``.
+
+        ``deadline_missed`` is tri-state: ``None`` means the run does
+        not propagate deadlines (legacy behaviour, no goodput rows in
+        the report); ``True``/``False`` marks a completed operation as
+        late/on-time and switches the report into goodput accounting.
+        """
         self.offered += 1
         self._last_ns = max(self._last_ns, now_ns)
+        phase = self.phase_of(now_ns)
+        if deadline_missed is not None:
+            self._deadline_tracking = True
         if ok:
             self.completed += 1
-            self._latency[self.phase_of(now_ns)].record(max(latency_ns, 1.0))
+            self._latency[phase].record(max(latency_ns, 1.0))
             index = int(now_ns // self.window_ns)
             self._windows[index] = self._windows.get(index, 0) + 1
+            self.phase_counts[phase]["completed"] += 1
+            if deadline_missed:
+                self.deadline_misses += 1
+                self.phase_counts[phase]["deadline_missed"] += 1
+            else:
+                self.good += 1
         else:
             self.failed += 1
+            self.phase_counts[phase]["failed"] += 1
 
     def latency(self, phase: str) -> LatencyHistogram:
         """The latency histogram of one phase (before/during/after)."""
@@ -172,6 +252,12 @@ class RecoveryTracker:
                 return max(0.0, (index + 1) * self.window_ns - self.fault_end_ns)
         return math.inf
 
+    def goodput_ops_per_s(self) -> float:
+        """In-deadline completions per second over the run so far."""
+        if self._last_ns <= 0:
+            return 0.0
+        return self.good / (self._last_ns / 1e9)
+
     def report(self) -> FaultRecoveryReport:
         """Summarize the run into a :class:`FaultRecoveryReport`."""
         availability = self.completed / self.offered if self.offered else 0.0
@@ -188,4 +274,9 @@ class RecoveryTracker:
             recovery_ns=self.recovery_ns(),
             fault_start_ns=self.fault_start_ns,
             fault_end_ns=self.fault_end_ns,
+            deadline_misses=self.deadline_misses,
+            good_ops=self.good,
+            goodput_ops_per_s=self.goodput_ops_per_s(),
+            phase_counts={p: dict(c) for p, c in self.phase_counts.items()},
+            deadline_tracking=self._deadline_tracking,
         )

@@ -82,6 +82,21 @@ class FaultedRunSummary:
             rows.extend(self.report.rows()[4:])
         return rows
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot (for ``repro faults run --json``)."""
+        return {
+            "app": self.app,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "healthy_throughput": self.healthy_throughput,
+            "faulted_throughput": self.faulted_throughput,
+            "throughput_ratio": self.throughput_ratio,
+            "availability": self.availability,
+            "trace": list(self.trace),
+            "counters": dict(self.counters),
+            "report": self.report.as_dict() if self.report is not None else None,
+        }
+
 
 def _fault_window(healthy_elapsed_ns: float) -> Tuple[float, float]:
     if healthy_elapsed_ns <= 0:

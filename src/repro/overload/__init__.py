@@ -1,0 +1,40 @@
+"""Overload protection for the serving stack.
+
+Admission control (bounded queues, token-bucket and concurrency
+limiters, an adaptive AIMD limiter tracking the loaded-latency knee),
+absolute-deadline propagation with doomed-work shedding, and SLO-aware
+load shedding driven by the fault layer's capacity signal.  The apps
+(KeyDB, the LLM router, Spark) accept an :class:`OverloadController`
+and behave exactly as before when none is attached.
+"""
+
+from .deadline import Deadline, Request
+from .limiter import AdaptiveLimiter, ConcurrencyLimiter, TokenBucketLimiter
+from .metrics import OverloadMetrics
+from .policy import OverloadController, OverloadPolicy
+from .queue import AdmissionQueue, QueueDiscipline
+from .runner import (
+    OverloadRunSummary,
+    calibrate_capacity_ops_per_s,
+    run_fault_comparison,
+    run_offered_load,
+    sweep_offered_load,
+)
+
+__all__ = [
+    "Deadline",
+    "Request",
+    "AdmissionQueue",
+    "QueueDiscipline",
+    "TokenBucketLimiter",
+    "ConcurrencyLimiter",
+    "AdaptiveLimiter",
+    "OverloadMetrics",
+    "OverloadPolicy",
+    "OverloadController",
+    "OverloadRunSummary",
+    "calibrate_capacity_ops_per_s",
+    "run_offered_load",
+    "sweep_offered_load",
+    "run_fault_comparison",
+]

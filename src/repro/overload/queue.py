@@ -1,0 +1,143 @@
+"""Bounded admission queues with pluggable discipline.
+
+The first line of overload defense is a *bounded* queue with an
+explicit rejection path: an unbounded queue converts excess offered
+load into unbounded latency (the tail blowup past the bandwidth knee),
+while a bounded queue converts it into cheap, early rejections.
+
+Three disciplines:
+
+* **FIFO** — classic fairness; oldest request served first.
+* **LIFO** — tail-freshness under overload: the newest request is the
+  one most likely to still meet its deadline, so serving it first
+  maximizes goodput while the queue's stale tail is shed by the
+  deadline check at pop time (the "adaptive LIFO" trick from the SRE
+  literature).
+* **PRIORITY** — highest priority first, FIFO within a priority class.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from enum import Enum
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .deadline import Request
+
+__all__ = ["QueueDiscipline", "AdmissionQueue"]
+
+
+class QueueDiscipline(str, Enum):
+    """How a bounded admission queue orders its waiters."""
+
+    FIFO = "fifo"
+    LIFO = "lifo"
+    PRIORITY = "priority"
+
+
+class AdmissionQueue:
+    """A bounded queue of :class:`Request` with explicit rejection.
+
+    ``offer`` returns ``False`` (and counts the rejection) when the
+    queue is full — the caller turns that into load shedding.  ``take``
+    drops requests whose deadline already passed while they waited
+    (counted as ``shed_expired``), so a burst that aged out in the
+    queue never reaches service.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        discipline: QueueDiscipline = QueueDiscipline.FIFO,
+        on_shed: Optional[Callable[[Request], None]] = None,
+        shed_expired_waiters: bool = True,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("queue capacity must be positive")
+        self.capacity = capacity
+        self.discipline = QueueDiscipline(discipline)
+        #: When False, ``take`` returns expired requests instead of
+        #: shedding them — the monitor-only baseline serves late work.
+        self.shed_expired_waiters = shed_expired_waiters
+        #: Invoked for every request shed while queued (expired waiting),
+        #: so owners holding per-request state (concurrency slots,
+        #: metrics) can release it.
+        self.on_shed = on_shed
+        self.rejected_full = 0
+        self.shed_expired = 0
+        self._fifo: Deque[Request] = deque()
+        self._heap: List[Tuple[int, int, Request]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        if self.discipline is QueueDiscipline.PRIORITY:
+            return len(self._heap)
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        """True when another ``offer`` would be rejected."""
+        return len(self) >= self.capacity
+
+    def offer(self, request: Request) -> bool:
+        """Enqueue ``request``; ``False`` (counted) when the queue is full."""
+        if self.full:
+            self.rejected_full += 1
+            return False
+        if self.discipline is QueueDiscipline.PRIORITY:
+            # Max-heap on priority, FIFO within a class via the sequence.
+            heapq.heappush(self._heap, (-request.priority, next(self._seq), request))
+        else:
+            self._fifo.append(request)
+        return True
+
+    def _pop(self) -> Request:
+        if self.discipline is QueueDiscipline.PRIORITY:
+            return heapq.heappop(self._heap)[2]
+        if self.discipline is QueueDiscipline.LIFO:
+            return self._fifo.pop()
+        return self._fifo.popleft()
+
+    def take(self, now_ns: float) -> Optional[Request]:
+        """Dequeue the next serviceable request.
+
+        Requests that expired while queued are shed (counted) rather
+        than returned; ``None`` means nothing serviceable remains.
+        """
+        while len(self):
+            request = self._pop()
+            if self.shed_expired_waiters and request.expired(now_ns):
+                self.shed_expired += 1
+                if self.on_shed is not None:
+                    self.on_shed(request)
+                continue
+            return request
+        return None
+
+    def drain_expired(self, now_ns: float) -> int:
+        """Shed every queued request whose deadline has passed.
+
+        Returns how many were shed.  Useful at capacity-loss events:
+        the queue is purged of doomed work in one sweep instead of
+        lazily at pop time.
+        """
+        dropped: List[Request] = []
+        if self.discipline is QueueDiscipline.PRIORITY:
+            keep = [e for e in self._heap if not e[2].expired(now_ns)]
+            dropped = [e[2] for e in self._heap if e[2].expired(now_ns)]
+            if dropped:
+                self._heap = keep
+                heapq.heapify(self._heap)
+        else:
+            keep_fifo: Deque[Request] = deque()
+            for request in self._fifo:
+                (dropped if request.expired(now_ns) else keep_fifo).append(request)
+            self._fifo = keep_fifo
+        self.shed_expired += len(dropped)
+        if self.on_shed is not None:
+            for request in dropped:
+                self.on_shed(request)
+        return len(dropped)

@@ -146,11 +146,16 @@ class LatencyHistogram:
             self.stat.record(value)
 
     def percentile(self, p: float) -> float:
-        """Return the value at percentile ``p`` (0 < p <= 100)."""
+        """Return the value at percentile ``p`` (0 < p <= 100).
+
+        An empty histogram has no percentiles: the query returns NaN
+        (never a fake 0 or an index error), so downstream reports can
+        render "no samples" instead of a misleading zero tail.
+        """
         if not 0.0 < p <= 100.0:
             raise ValueError("percentile must be in (0, 100]")
         if self.count == 0:
-            return 0.0
+            return math.nan
         target = math.ceil(self.count * p / 100.0)
         seen = 0
         for idx in sorted(self._buckets):

@@ -86,6 +86,73 @@ class TestRecoveryTracker:
         assert len(rows) == 9
         assert all(isinstance(k, str) and isinstance(v, str) for k, v in rows)
 
+    def test_empty_phase_percentiles_render_not_crash(self):
+        # A run whose ops all land in one phase must not blow up (or
+        # print "nan us") when the report asks for the other phases' p99.
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        tracker.record(150.0, 80.0)  # only "during" has samples
+        report = tracker.report()
+        assert math.isnan(report.p99_before_ns)
+        assert math.isnan(report.p99_after_ns)
+        rendered = dict(report.rows())
+        assert rendered["p99 before fault"] == "n/a (no samples)"
+        assert rendered["p99 after fault"] == "n/a (no samples)"
+        assert "nan" not in rendered["p99 before fault"]
+
+    def test_totally_empty_tracker_reports_cleanly(self):
+        report = RecoveryTracker(100.0, 200.0, window_ns=50.0).report()
+        assert report.offered_ops == 0
+        assert report.availability == 0.0
+        assert math.isinf(report.recovery_ns)
+        assert all(isinstance(v, str) for _, v in report.rows())
+
+    def test_deadline_tracking_is_tri_state(self):
+        # None (legacy): no goodput rows, counters untouched.
+        legacy = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        legacy.record(10.0, 50.0)
+        report = legacy.report()
+        assert not report.deadline_tracking
+        assert len(report.rows()) == 9
+        # True/False: goodput accounting switches on.
+        tracked = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        tracked.record(10.0, 50.0, deadline_missed=False)
+        tracked.record(150.0, 90.0, deadline_missed=True)
+        report = tracked.report()
+        assert report.deadline_tracking
+        assert report.good_ops == 1
+        assert report.deadline_misses == 1
+        rendered = dict(report.rows())
+        assert rendered["deadline misses"] == "1"
+        assert rendered["in-deadline (good) ops"] == "1"
+
+    def test_phase_counts_breakdown(self):
+        tracker = RecoveryTracker(100.0, 200.0, window_ns=50.0)
+        tracker.record(10.0, 50.0, deadline_missed=False)
+        tracker.record(150.0, 90.0, deadline_missed=True)
+        tracker.record(160.0, 0.0, ok=False)
+        tracker.record(250.0, 60.0, deadline_missed=False)
+        counts = tracker.report().phase_counts
+        assert counts["before"] == {
+            "completed": 1, "failed": 0, "deadline_missed": 0,
+        }
+        assert counts["during"] == {
+            "completed": 1, "failed": 1, "deadline_missed": 1,
+        }
+        assert counts["after"] == {
+            "completed": 1, "failed": 0, "deadline_missed": 0,
+        }
+
+    def test_as_dict_is_json_clean(self):
+        import json
+
+        tracker = RecoveryTracker(100.0, math.inf, window_ns=50.0)
+        tracker.record(150.0, 80.0)  # empty before/after, inf fault end
+        payload = tracker.report().as_dict()
+        assert payload["p99_before_ns"] is None  # NaN became None
+        assert payload["fault_end_ns"] is None  # inf became None
+        assert payload["recovery_ns"] is None
+        json.dumps(payload)  # round-trips without ValueError
+
 
 class TestScenarioCatalog:
     def test_catalog_contents(self):

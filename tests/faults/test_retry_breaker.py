@@ -46,6 +46,47 @@ class TestRetryPolicy:
         # The documented default: 200us, 400us, 800us = 1.4 ms total.
         assert RetryPolicy().total_backoff_ns() == pytest.approx(1.4e6)
 
+    def test_cap_never_exceeded_including_final_attempt(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_backoff_ns=100.0, multiplier=3.0,
+            max_backoff_ns=1000.0,
+        )
+        for attempt in range(1, policy.max_attempts + 1):
+            assert policy.backoff_ns(attempt) <= policy.max_backoff_ns
+        # The final attempt sits exactly at the cap, not past it.
+        assert policy.backoff_ns(policy.max_attempts) == policy.max_backoff_ns
+
+    def test_backoff_schedule_is_deterministic(self):
+        import random
+
+        policy = RetryPolicy(
+            max_attempts=6, base_backoff_ns=100.0, multiplier=2.0,
+            max_backoff_ns=800.0,
+        )
+
+        def run_with_seed(seed):
+            rng = random.Random(seed)
+            fail_until = rng.randint(1, policy.max_attempts - 1)
+            backoffs = []
+
+            def flaky(attempt):
+                if attempt <= fail_until:
+                    raise DeviceFaultError(2)
+                return attempt
+
+            retry_call(policy=policy, fn=flaky,
+                       on_backoff=lambda a, b: backoffs.append(b))
+            return backoffs
+
+        # Same seed, same failure pattern, bit-identical backoff schedule.
+        for seed in range(10):
+            assert run_with_seed(seed) == run_with_seed(seed)
+        # And the schedule is always a prefix of the policy's fixed ladder.
+        ladder = [policy.backoff_ns(a) for a in range(1, policy.max_attempts)]
+        for seed in range(10):
+            observed = run_with_seed(seed)
+            assert observed == ladder[: len(observed)]
+
 
 class TestRetryCall:
     def test_success_on_first_attempt(self):

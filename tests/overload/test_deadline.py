@@ -1,0 +1,72 @@
+"""Deadline and Request value-object semantics."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload import Deadline, Request
+
+
+class TestDeadline:
+    def test_default_is_unbounded(self):
+        d = Deadline()
+        assert d.unbounded
+        assert not d.expired(1e18)
+        assert d.can_finish(1e18, 1e18)
+        assert d.remaining_ns(0.0) == math.inf
+
+    def test_after_stamps_absolute_time(self):
+        d = Deadline.after(100.0, 50.0)
+        assert d.at_ns == 150.0
+        assert d.remaining_ns(120.0) == 30.0
+
+    def test_after_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError):
+            Deadline.after(0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            Deadline.after(0.0, -1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(float("nan"))
+
+    def test_expiry_is_strict(self):
+        d = Deadline(100.0)
+        assert not d.expired(100.0)  # finishing exactly on time is on time
+        assert d.expired(100.0 + 1e-9)
+
+    def test_can_finish_is_the_doomed_check(self):
+        d = Deadline(100.0)
+        assert d.can_finish(40.0, 60.0)
+        assert not d.can_finish(40.0, 61.0)
+
+    def test_tightened_picks_the_stricter(self):
+        early, late = Deadline(10.0), Deadline(20.0)
+        assert early.tightened(late) is early
+        assert late.tightened(early) is early
+        assert early.tightened(Deadline()) is early
+
+
+class TestRequest:
+    def test_ids_are_unique_and_increasing(self):
+        a, b = Request(arrival_ns=0.0), Request(arrival_ns=0.0)
+        assert b.request_id > a.request_id
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Request(arrival_ns=0.0, priority=-1)
+        with pytest.raises(ConfigurationError):
+            Request(arrival_ns=0.0, cost_hint_ns=-1.0)
+
+    def test_doomed_delegates_to_deadline(self):
+        r = Request(arrival_ns=0.0, deadline=Deadline(100.0))
+        assert not r.doomed(50.0, 50.0)
+        assert r.doomed(50.0, 51.0)
+        assert not r.expired(100.0)
+        assert r.expired(101.0)
+
+    def test_payload_carries_application_state(self):
+        op = object()
+        r = Request(arrival_ns=0.0, payload=op)
+        assert r.payload is op

@@ -1,0 +1,216 @@
+"""The OverloadPolicy/OverloadController admission pipeline."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.hw.presets import paper_cxl_platform
+from repro.overload import OverloadController, OverloadPolicy, QueueDiscipline
+from repro.overload.policy import (
+    REASON_CAPACITY,
+    REASON_CONCURRENCY,
+    REASON_DOOMED,
+    REASON_RATE,
+)
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        OverloadPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queue_capacity": 0},
+            {"rate_ops_per_s": 0.0},
+            {"burst_ops": 0.0},
+            {"max_concurrency": 0},
+            {"default_budget_ns": 0.0},
+            {"priority_levels": 0},
+            {"adaptive": True},  # no target and no knee
+        ],
+    )
+    def test_bad_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OverloadPolicy(**kwargs)
+
+    def test_monitor_only_never_rejects_or_sheds(self):
+        policy = OverloadPolicy.monitor_only(default_budget_ns=1e6)
+        controller = OverloadController(policy)
+        for i in range(1000):
+            request = controller.make_request(float(i))
+            admitted, _ = controller.try_admit(request, float(i))
+            assert admitted
+        assert controller.metrics.total_rejected == 0
+
+
+class TestAdmissionPipeline:
+    def test_rate_limit_rejects_with_reason(self):
+        controller = OverloadController(
+            OverloadPolicy(rate_ops_per_s=1000.0, burst_ops=1.0)
+        )
+        first = controller.make_request(0.0)
+        assert controller.try_admit(first, 0.0) == (True, "admitted")
+        second = controller.make_request(0.0)
+        assert controller.try_admit(second, 0.0) == (False, REASON_RATE)
+        assert controller.metrics.rejected[REASON_RATE] == 1
+
+    def test_concurrency_limit_and_release_on_complete(self):
+        controller = OverloadController(OverloadPolicy(max_concurrency=1))
+        first = controller.make_request(0.0)
+        assert controller.try_admit(first, 0.0)[0]
+        second = controller.make_request(0.0)
+        assert controller.try_admit(second, 0.0) == (False, REASON_CONCURRENCY)
+        assert controller.complete(first, 10.0, 10.0)
+        third = controller.make_request(10.0)
+        assert controller.try_admit(third, 10.0)[0]
+
+    def test_shed_releases_the_slot_too(self):
+        controller = OverloadController(OverloadPolicy(max_concurrency=1))
+        first = controller.make_request(0.0)
+        assert controller.try_admit(first, 0.0)[0]
+        controller.shed(first, 5.0)
+        assert controller.metrics.shed[REASON_DOOMED] == 1
+        assert controller.try_admit(controller.make_request(5.0), 5.0)[0]
+
+    def test_doomed_work_rejected_and_slot_released(self):
+        controller = OverloadController(
+            OverloadPolicy(max_concurrency=1, default_budget_ns=100.0)
+        )
+        request = controller.make_request(0.0)
+        admitted, reason = controller.try_admit(request, 0.0, est_service_ns=200.0)
+        assert (admitted, reason) == (False, REASON_DOOMED)
+        # The slot grabbed during the pipeline was handed back.
+        assert controller.concurrency.in_flight == 0
+
+    def test_complete_reports_deadline_outcome(self):
+        controller = OverloadController(OverloadPolicy(default_budget_ns=100.0))
+        on_time = controller.make_request(0.0)
+        controller.try_admit(on_time, 0.0)
+        assert controller.complete(on_time, 100.0, 100.0)  # exactly on time
+        late = controller.make_request(0.0)
+        controller.try_admit(late, 0.0)
+        assert not controller.complete(late, 150.0, 150.0)
+        assert controller.metrics.deadline_misses == 1
+        assert controller.metrics.good == 1
+
+    def test_queue_factory_applies_policy(self):
+        policy = OverloadPolicy(
+            queue_capacity=3, discipline=QueueDiscipline.LIFO, shed_doomed=False
+        )
+        queue = OverloadController(policy).new_queue()
+        assert queue.capacity == 3
+        assert queue.discipline is QueueDiscipline.LIFO
+        assert not queue.shed_expired_waiters  # monitor semantics follow policy
+
+    def test_queue_shed_callback_releases_concurrency(self):
+        controller = OverloadController(
+            OverloadPolicy(max_concurrency=1, default_budget_ns=100.0)
+        )
+        queue = controller.new_queue()
+        request = controller.make_request(0.0)
+        assert controller.try_admit(request, 0.0)[0]
+        queue.offer(request)
+        assert queue.take(500.0) is None  # expired while queued: shed
+        assert controller.concurrency.in_flight == 0
+        assert controller.metrics.shed["expired"] == 1
+
+
+class TestCapacityLossShedding:
+    def _controller_with_fault(self, bandwidth_multiplier, priority_levels=4):
+        platform = paper_cxl_platform(snc_enabled=False)
+        node = platform.cxl_nodes()[0].node_id
+        plan = FaultPlan(seed=1).degrade_link(
+            0.0, 1e9, node_id=node,
+            bandwidth_multiplier=bandwidth_multiplier, latency_multiplier=2.0,
+        )
+        controller = OverloadController(
+            OverloadPolicy(priority_levels=priority_levels)
+        )
+        # Bind only the degraded node so capacity_fraction is exact.
+        controller.bind_faults(FaultInjector(platform, plan), node_ids=[node])
+        return controller
+
+    def test_full_capacity_admits_priority_zero(self):
+        controller = OverloadController(OverloadPolicy(priority_levels=4))
+        assert controller.priority_floor(0.0) == 0
+        assert controller.capacity_fraction(0.0) == 1.0
+
+    def test_lost_capacity_raises_the_floor(self):
+        controller = self._controller_with_fault(bandwidth_multiplier=0.25)
+        assert controller.capacity_fraction(1e6) == pytest.approx(0.25)
+        floor = controller.priority_floor(1e6)
+        assert floor == 3  # ceil(0.75 * 4) = 3: only the top class admitted
+        low = controller.make_request(1e6, priority=0)
+        assert controller.try_admit(low, 1e6) == (False, REASON_CAPACITY)
+        high = controller.make_request(1e6, priority=3)
+        assert controller.try_admit(high, 1e6)[0]
+
+    def test_noise_level_derating_ignored(self):
+        controller = self._controller_with_fault(bandwidth_multiplier=0.97)
+        assert controller.priority_floor(1e6) == 0
+
+    def test_floor_capped_below_top_class(self):
+        controller = self._controller_with_fault(
+            bandwidth_multiplier=0.01, priority_levels=2
+        )
+        assert controller.priority_floor(1e6) <= 1
+
+    def test_shedding_disabled_by_policy(self):
+        platform = paper_cxl_platform(snc_enabled=False)
+        node = platform.cxl_nodes()[0].node_id
+        plan = FaultPlan(seed=1).degrade_link(
+            0.0, 1e9, node_id=node,
+            bandwidth_multiplier=0.1, latency_multiplier=2.0,
+        )
+        controller = OverloadController(
+            OverloadPolicy(shed_on_capacity_loss=False)
+        )
+        controller.bind_faults(FaultInjector(platform, plan))
+        assert controller.priority_floor(1e6) == 0
+
+
+class TestAdaptiveIntegration:
+    def test_adaptive_limit_applied_at_admission(self):
+        controller = OverloadController(
+            OverloadPolicy(
+                adaptive=True,
+                max_concurrency=10,
+                adaptive_latency_target_ns=1000.0,
+                adaptive_interval_ns=10.0,
+            )
+        )
+        # Overloaded completions walk the limit down multiplicatively.
+        for i in range(1, 8):
+            request = controller.make_request(i * 100.0)
+            assert controller.try_admit(request, i * 100.0)[0]
+            controller.complete(request, i * 100.0 + 50.0, 5000.0)
+        assert controller.concurrency_limit < 10
+
+    def test_utilization_signal_reaches_the_limiter(self):
+        controller = OverloadController(
+            OverloadPolicy(
+                adaptive=True,
+                max_concurrency=10,
+                knee_utilization=0.8,
+                adaptive_interval_ns=10.0,
+            )
+        )
+        controller.note_utilization(0.99, 100.0)
+        assert controller.adaptive.limit == 7  # 10 * 0.7
+
+    def test_metrics_funnel_counts_every_outcome(self):
+        controller = OverloadController(
+            OverloadPolicy(rate_ops_per_s=1e9, default_budget_ns=math.inf)
+        )
+        request = controller.make_request(0.0)
+        controller.try_admit(request, 0.0)
+        controller.complete(request, 10.0, 10.0)
+        snapshot = controller.metrics.as_dict()
+        assert snapshot["offered"] == 1.0
+        assert snapshot["admitted"] == 1.0
+        assert snapshot["completed"] == 1.0
+        assert snapshot["good"] == 1.0

@@ -71,8 +71,13 @@ class TestLatencyHistogram:
         with pytest.raises(ValueError):
             h.percentile(101)
 
-    def test_empty_percentile_is_zero(self):
-        assert LatencyHistogram().percentile(50) == 0.0
+    def test_empty_percentile_is_nan(self):
+        # An empty histogram must not fabricate a zero tail (and must
+        # not raise an index error); NaN is the explicit "no samples".
+        import math
+
+        assert math.isnan(LatencyHistogram().percentile(50))
+        assert math.isnan(LatencyHistogram().percentile(99.9))
 
     def test_percentile_relative_error_bound(self):
         h = LatencyHistogram(min_value=1.0, growth=1.02)

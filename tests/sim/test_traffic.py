@@ -127,6 +127,52 @@ class TestMaxMinProperties:
         assert all_satisfied or total == pytest.approx(min(capacity, sum(rates)), rel=1e-6)
 
     @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=10),
+        st.floats(min_value=1.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_total_monotone_in_capacity(self, rates, capacity, extra):
+        """Growing a resource's capacity never shrinks total throughput."""
+        demands = [demand(i, ["r"], r) for i, r in enumerate(rates)]
+        before = sum(max_min_allocate(demands, {"r": capacity}).achieved.values())
+        after = sum(
+            max_min_allocate(demands, {"r": capacity + extra}).achieved.values()
+        )
+        assert after >= before - 1e-6
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.sets(st.sampled_from(["link", "dev", "bus"]), min_size=1),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    def test_multi_resource_never_over_capacity(self, flows, link, dev, bus):
+        """No shared resource carries more than its capacity, and every
+        allocation stays within its own request."""
+        capacities = {"link": link, "dev": dev, "bus": bus}
+        demands = [
+            demand(i, sorted(resources), rate)
+            for i, (rate, resources) in enumerate(flows)
+        ]
+        res = max_min_allocate(demands, capacities)
+        for name, capacity in capacities.items():
+            load = sum(
+                res.achieved[i]
+                for i, (_, resources) in enumerate(flows)
+                if name in resources
+            )
+            assert load <= capacity * (1 + 1e-6)
+        for i, (rate, _) in enumerate(flows):
+            assert res.achieved[i] <= rate + 1e-6
+
+    @given(
         st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=8),
     )
     def test_fairness_smaller_request_never_gets_less(self, rates):

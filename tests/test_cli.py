@@ -80,3 +80,53 @@ class TestCommands:
         assert "keydb under device-flap" in out
         assert "fault trace:" in out
         assert "OFFLINE" in out
+
+    def test_faults_run_json(self, capsys):
+        import json
+
+        assert main(
+            ["faults", "run", "link-degrade", "--app", "keydb",
+             "--quick", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        run = payload[0]
+        assert run["app"] == "keydb"
+        assert run["scenario"] == "link-degrade"
+        assert 0.0 <= run["availability"] <= 1.0
+        assert run["report"] is None or "offered_ops" in run["report"]
+
+    def test_overload_sweep_quick(self, capsys):
+        assert main(
+            ["overload", "sweep", "--quick", "--factors", "0.5,1.5",
+             "--mode", "controlled"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "controlled" in out
+        assert "goodput" in out
+        assert "0.50x" in out and "1.50x" in out
+
+    def test_overload_sweep_json(self, capsys):
+        import json
+
+        assert main(
+            ["overload", "sweep", "--quick", "--factors", "1.5",
+             "--mode", "both", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        labels = {entry["label"] for entry in payload}
+        assert labels == {"controlled @ 1.50x", "uncontrolled @ 1.50x"}
+        for entry in payload:
+            assert entry["load_factor"] == 1.5
+            assert entry["offered"] > 0
+
+    def test_overload_faults_json(self, capsys):
+        import json
+
+        assert main(
+            ["overload", "faults", "--quick", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"controlled", "uncontrolled"}
+        for entry in payload.values():
+            assert entry["offered"] > 0
