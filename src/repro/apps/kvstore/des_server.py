@@ -29,6 +29,7 @@ from ...errors import ConfigurationError
 from ...faults.injector import FaultInjector
 from ...hw.paths import MemoryPath
 from ...hw.topology import Platform
+from ...obs.tracing import NULL_TRACER, Tracer
 from ...overload.policy import REASON_QUEUE_FULL, OverloadController
 from ...sim.engine import Event, Simulator
 from ...sim.resources import Resource
@@ -51,6 +52,8 @@ class DesKeyDbServer:
         clients: int = 16,
         utilization_refresh_ops: int = 2000,
         overload: Optional[OverloadController] = None,
+        tracer: Tracer = NULL_TRACER,
+        engine_profile=None,
     ) -> None:
         if threads <= 0 or clients <= 0:
             raise ConfigurationError("threads and clients must be positive")
@@ -63,6 +66,12 @@ class DesKeyDbServer:
         self.clients = clients
         self.refresh_ops = utilization_refresh_ops
         self.overload = overload
+        #: Request-scoped span recorder (no-op unless a live Tracer is
+        #: passed; tracing must never perturb the simulation).
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.profile.EngineProfile` installed
+        #: on each run's simulator.
+        self.engine_profile = engine_profile
         self._paths: Dict[int, MemoryPath] = {}
         self._utilization: Dict[str, float] = {}
         self._lat_cache: Dict[int, Dict[int, float]] = {}
@@ -109,11 +118,55 @@ class DesKeyDbServer:
                 time_ns += self.store.flash.write_time_ns(plan.ssd_write_bytes)
         return time_ns
 
+    def _emit_op_trace(
+        self,
+        plan,
+        arrival_ns: float,
+        service_start_ns: float,
+        end_ns: float,
+        service_ns: float,
+        cpu_ns: float,
+        struct_ns: float,
+        value_ns: float,
+        degrade_ns: float = 0.0,
+    ) -> None:
+        """Record one op's per-layer spans; they sum to ``end - arrival``.
+
+        The layer components were captured at pricing time (a
+        utilization refresh may retune the latency tables mid-service),
+        and the SSD share is derived as the pricing residual so the
+        spans reproduce the priced service time exactly.
+        """
+        op = self.tracer.op("ycsb.set" if plan.is_write else "ycsb.get", arrival_ns)
+        op.span("admission", "queue_wait", arrival_ns,
+                service_start_ns - arrival_ns)
+        t = service_start_ns
+        op.span("app", "redis_cpu", t, cpu_ns)
+        t += cpu_ns
+        op.span("mem", "struct_walk", t, struct_ns,
+                accesses=plan.struct_accesses)
+        t += struct_ns
+        op.span("hw", "value_access", t, value_ns,
+                node=plan.value_page.node_id)
+        t += value_ns
+        flash_ns = service_ns - cpu_ns - struct_ns - value_ns
+        # Strictly-positive residual can still be fp noise from the
+        # subtraction; only a residual visible at op scale is real IO.
+        if flash_ns > 1e-9 * service_ns:
+            op.span("device", "flash_io", t, flash_ns)
+            t += flash_ns
+        if degrade_ns > 0.0:
+            op.span("device", "fault_degrade", t, degrade_ns)
+        op.finish(end_ns)
+
     def run(self, generator: YcsbGenerator, total_ops: int) -> KeyDbResult:
         """Run the closed loop until ``total_ops`` complete."""
         if total_ops <= 0:
             raise ConfigurationError("total_ops must be positive")
         sim = Simulator()
+        if self.engine_profile is not None:
+            self.engine_profile.attach(sim)
+        tracer = self.tracer
         server_threads = Resource(sim, self.threads)
         result = KeyDbResult()
         self._latency_tables()
@@ -156,7 +209,21 @@ class DesKeyDbServer:
                     result.counters.add("ops_shed_doomed", 1)
                     self.overload.shed(request, sim.now)
                     continue
+                if tracer.enabled:
+                    w = 1 if plan.is_write else 0
+                    trace_start = sim.now
+                    trace_cpu = self.store.profile.cpu_ns
+                    trace_struct = plan.struct_accesses * self._struct[w]
+                    trace_value = (
+                        plan.value_accesses
+                        * self._lat_cache[w][plan.value_page.node_id]
+                    )
                 yield sim.timeout(service)
+                if tracer.enabled:
+                    self._emit_op_trace(
+                        plan, arrival, trace_start, sim.now, service,
+                        trace_cpu, trace_struct, trace_value,
+                    )
                 server_threads.release()
                 total_latency = sim.now - arrival  # queueing + service
                 if request is not None:
@@ -221,6 +288,9 @@ class DesKeyDbServer:
         if duration_ns <= 0:
             raise ConfigurationError("duration_ns must be positive")
         sim = Simulator()
+        if self.engine_profile is not None:
+            self.engine_profile.attach(sim)
+        tracer = self.tracer
         rng = np.random.default_rng(seed)
         result = KeyDbResult()
         self._latency_tables()
@@ -297,7 +367,7 @@ class DesKeyDbServer:
                     plan = self.store.plan_set(op.key, sim.now)
                 else:
                     plan = self.store.plan_get(op.key, sim.now)
-                service = self._price(plan)
+                service = base_service = self._price(plan)
                 if injector is not None:
                     service *= injector.latency_multiplier(
                         plan.value_page.node_id, sim.now
@@ -310,7 +380,22 @@ class DesKeyDbServer:
                     result.counters.add("ops_shed_doomed", 1)
                     self.overload.shed(request, sim.now)
                     continue
+                if tracer.enabled:
+                    w = 1 if plan.is_write else 0
+                    trace_start = sim.now
+                    trace_cpu = self.store.profile.cpu_ns
+                    trace_struct = plan.struct_accesses * self._struct[w]
+                    trace_value = (
+                        plan.value_accesses
+                        * self._lat_cache[w][plan.value_page.node_id]
+                    )
                 yield sim.timeout(service)
+                if tracer.enabled:
+                    self._emit_op_trace(
+                        plan, arrival, trace_start, sim.now, base_service,
+                        trace_cpu, trace_struct, trace_value,
+                        degrade_ns=service - base_service,
+                    )
                 latency = sim.now - arrival  # queueing + service
                 if request is not None:
                     if not self.overload.complete(request, sim.now, latency):

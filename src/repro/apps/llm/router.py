@@ -24,6 +24,7 @@ from ...errors import ConfigurationError
 from ...faults.breaker import CircuitBreaker
 from ...faults.injector import FaultInjector
 from ...faults.metrics import RecoveryTracker
+from ...obs.tracing import NULL_TRACER, Tracer
 from ...overload.policy import OverloadController
 from ...sim.engine import Simulator
 from ...sim.stats import LatencyHistogram
@@ -80,11 +81,19 @@ class LlmRouter:
         experiment: LlmServingExperiment,
         backends: int,
         kv_capacity_bytes: int = 64 * GIB,
+        tracer: Tracer = NULL_TRACER,
+        engine_profile=None,
     ) -> None:
         if backends <= 0:
             raise ConfigurationError("backends must be positive")
         self.experiment = experiment
         self.n_backends = backends
+        #: Request-scoped span recorder (no-op by default; tracing must
+        #: never perturb the simulation).
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.profile.EngineProfile` installed
+        #: on each serve()'s simulator.
+        self.engine_profile = engine_profile
         self.model = experiment.backend.model
         self.caches = [
             KvCache(self.model, kv_capacity_bytes) for _ in range(backends)
@@ -179,6 +188,9 @@ class LlmRouter:
         caller — the lever the overload experiments sweep.
         """
         sim = Simulator()
+        if self.engine_profile is not None:
+            self.engine_profile.attach(sim)
+        tracer = self.tracer
         result = ServingResult()
         # The steady-state operating point prices every token step; the
         # DES adds queueing/assignment dynamics on top.
@@ -240,6 +252,9 @@ class LlmRouter:
             self.caches[idx].admit(seq_id, request.prompt_tokens)
             self.active_sequences[idx] += 1
             generated = 0
+            # Per-layer time buckets for tracing: decode steps on the
+            # backend, re-prefill after reroutes, blown-deadline stalls.
+            decode_ns = reprefill_ns = stall_ns = 0.0
 
             def leave(i: int) -> None:
                 self.caches[i].release(seq_id)
@@ -269,11 +284,13 @@ class LlmRouter:
                                 self.recovery.record(sim.now, 0.0, ok=False)
                             return
                         idx = new
-                        yield sim.timeout(
+                        refill = (
                             REPREFILL_STEP_FRACTION
                             * (request.prompt_tokens + generated)
                             * step_time(idx, seq_id)
                         )
+                        reprefill_ns += refill
+                        yield sim.timeout(refill)
                         continue
                 step_ns = step_time(idx, seq_id)
                 if (
@@ -294,6 +311,7 @@ class LlmRouter:
                     # Step deadline blown: count against the breaker and
                     # try a healthier backend after the timeout elapses.
                     self.breakers[idx].record_failure(sim.now)
+                    stall_ns += deadline_ns
                     yield sim.timeout(deadline_ns)
                     new = reroute(idx)
                     if new is None:
@@ -304,13 +322,16 @@ class LlmRouter:
                             self.recovery.record(sim.now, 0.0, ok=False)
                         return
                     if new != idx:
-                        yield sim.timeout(
+                        refill = (
                             REPREFILL_STEP_FRACTION
                             * (request.prompt_tokens + generated)
                             * step_time(new, seq_id)
                         )
+                        reprefill_ns += refill
+                        yield sim.timeout(refill)
                     idx = new
                     continue
+                decode_ns += step_ns
                 yield sim.timeout(step_ns)
                 if self.faults is not None:
                     self.breakers[idx].record_success(sim.now)
@@ -322,6 +343,18 @@ class LlmRouter:
             leave(idx)
             result.requests_completed += 1
             latency = sim.now - start
+            if tracer.enabled:
+                op = tracer.op("llm.request", start)
+                t = start
+                op.span("device", "decode_steps", t, decode_ns,
+                        tokens=generated, backend=idx)
+                t += decode_ns
+                if reprefill_ns > 0.0:
+                    op.span("hw", "reprefill", t, reprefill_ns)
+                    t += reprefill_ns
+                if stall_ns > 0.0:
+                    op.span("device", "deadline_stall", t, stall_ns)
+                op.finish(sim.now)
             result.request_latency.record(latency)
             if ticket is not None:
                 if not self.overload.complete(ticket, sim.now, latency):

@@ -15,6 +15,8 @@ paper-style rows/series::
     repro faults run device-loss --app keydb --quick --json
     repro overload sweep --quick          # offered load vs goodput
     repro overload faults --quick         # shedding vs uncontrolled
+    repro metrics --quick --json          # metrics-registry snapshot
+    repro trace --quick                   # per-layer latency breakdown
 
 The same runners back ``pytest benchmarks/``; the CLI is the
 no-test-harness path for interactive exploration.
@@ -326,6 +328,89 @@ def _cmd_overload_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_run(args: argparse.Namespace, tracing: bool):
+    from .obs import run_observed_keydb
+
+    record_count, total_ops = (1_024, 1_500) if args.quick else (4_096, 6_000)
+    return run_observed_keydb(
+        config=args.config,
+        workload=args.workload,
+        record_count=record_count,
+        total_ops=total_ops,
+        seed=args.seed,
+        tracing=tracing,
+    )
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+
+    try:
+        observed = _observed_run(args, tracing=False)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    registry = observed.registry
+    if args.json:
+        print(registry.to_json())
+        return 0
+    if args.csv:
+        print(registry.to_csv(), end="")
+        return 0
+    rows = []
+    for sample in registry.samples():
+        labels = ";".join(f"{k}={v}" for k, v in sorted(sample.labels.items()))
+        value = sample.value
+        rows.append(
+            (sample.name, sample.kind, labels,
+             "nan" if value != value else f"{value:,.6g}")
+        )
+    print(ascii_table(
+        ["name", "kind", "labels", "value"], rows,
+        title=f"Metrics snapshot ({args.config} YCSB-{args.workload}, "
+              f"{observed.result.ops} ops)",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ConfigurationError
+
+    if args.limit < 0:
+        print("error: --limit must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        observed = _observed_run(args, tracing=True)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tracer = observed.tracer
+    if args.json:
+        print(json.dumps(tracer.as_dict(limit=args.limit), indent=2))
+        return 0
+    duration_total = sum(op.duration_ns for op in tracer.ops)
+    rows = [
+        (layer, f"{count}", f"{ns / 1e6:.3f}",
+         f"{100.0 * ns / duration_total:.1f}%" if duration_total else "n/a")
+        for layer, (count, ns) in sorted(tracer.layer_totals().items())
+    ]
+    print(ascii_table(
+        ["layer", "spans", "total ms", "share"], rows,
+        title=f"Per-layer latency breakdown ({args.config} "
+              f"YCSB-{args.workload}, {len(tracer.ops)} traced ops)",
+    ))
+    check = tracer.validate()
+    mark = "ok" if check["within_tolerance"] else "FAIL"
+    print(f"\n[{mark}] span sums vs end-to-end latency: "
+          f"max relative error {check['max_rel_error']:.2e} "
+          f"over {check['ops_checked']} ops")
+    print(f"engine: {observed.profile.steps} events dispatched; "
+          f"dominant process: {observed.profile.dominant_process()}")
+    return 1 if not check["within_tolerance"] else 0
+
+
 def _nonnegative_seed(text: str) -> int:
     value = int(text, 0)  # accepts decimal and 0x-hex
     if value < 0:
@@ -410,6 +495,27 @@ def build_parser() -> argparse.ArgumentParser:
     op.add_argument("--json", action="store_true",
                     help="emit machine-readable JSON instead of tables")
     op.set_defaults(func=_cmd_overload_faults)
+
+    for name, func, doc in (
+        ("metrics", _cmd_metrics, "metrics-registry snapshot of a YCSB run"),
+        ("trace", _cmd_trace, "per-layer latency trace of a YCSB run"),
+    ):
+        p = sub.add_parser(name, help=doc)
+        p.add_argument("--config", default="1:1",
+                       help="Table 1 configuration (default: 1:1)")
+        p.add_argument("--workload", default="A", choices=("A", "B", "C", "D"),
+                       help="YCSB workload (default: A)")
+        p.add_argument("--seed", type=_nonnegative_seed, default=0xC0FFEE)
+        p.add_argument("--quick", action="store_true", help="small, fast run")
+        p.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+        if name == "metrics":
+            p.add_argument("--csv", action="store_true",
+                           help="emit the snapshot as CSV")
+        else:
+            p.add_argument("--limit", type=int, default=16,
+                           help="ops to include in --json output (default: 16)")
+        p.set_defaults(func=func)
 
     p = sub.add_parser("advise", help="configuration advisor (§3.4/§5.3)")
     p.add_argument("--demand-gbps", type=float, default=50.0)

@@ -112,10 +112,31 @@ def _tracker_for(plan: FaultPlan, healthy_elapsed_ns: float) -> RecoveryTracker:
     return RecoveryTracker(start, end, window_ns=healthy_elapsed_ns / 25.0)
 
 
+def _register_summary(registry, summary: "FaultedRunSummary") -> None:
+    """Export one faulted-run summary through a metrics registry."""
+    from ..obs.registry import Sample
+
+    labels = {"app": summary.app, "scenario": summary.scenario}
+
+    def collect():
+        yield Sample("faulted_healthy_throughput", "gauge", dict(labels),
+                     summary.healthy_throughput)
+        yield Sample("faulted_throughput", "gauge", dict(labels),
+                     summary.faulted_throughput)
+        yield Sample("faulted_availability", "gauge", dict(labels),
+                     summary.availability)
+        for name, value in sorted(summary.counters.items()):
+            yield Sample("faulted_counter_total", "counter",
+                         {**labels, "counter": name}, float(value))
+
+    registry.register_collector(collect)
+
+
 def run_faulted_keydb(
     scenario: str,
     seed: int = DEFAULT_SEED,
     quick: bool = False,
+    registry=None,
 ) -> FaultedRunSummary:
     """KeyDB (1:1 interleave) through one fault scenario."""
     from ..apps.kvstore.experiment import build_keydb_experiment
@@ -136,7 +157,7 @@ def run_faulted_keydb(
     run = faulted.server.run(faulted.generator, total_ops=total_ops)
 
     report = tracker.report()
-    return FaultedRunSummary(
+    summary = FaultedRunSummary(
         app="keydb",
         scenario=scenario,
         seed=seed,
@@ -147,12 +168,19 @@ def run_faulted_keydb(
         counters=run.counters.as_dict(),
         report=report,
     )
+    if registry is not None:
+        tracker.register_into(
+            registry, labels={"app": "keydb", "scenario": scenario}
+        )
+        _register_summary(registry, summary)
+    return summary
 
 
 def run_faulted_llm(
     scenario: str,
     seed: int = DEFAULT_SEED,
     quick: bool = False,
+    registry=None,
 ) -> FaultedRunSummary:
     """The LLM serving stack (3:1 placement) through one scenario."""
     from ..apps.llm.router import LlmRouter
@@ -180,7 +208,7 @@ def run_faulted_llm(
 
     offered = run.requests_completed + run.requests_failed
     report = tracker.report()
-    return FaultedRunSummary(
+    summary = FaultedRunSummary(
         app="llm",
         scenario=scenario,
         seed=seed,
@@ -196,12 +224,19 @@ def run_faulted_llm(
         },
         report=report,
     )
+    if registry is not None:
+        tracker.register_into(
+            registry, labels={"app": "llm", "scenario": scenario}
+        )
+        _register_summary(registry, summary)
+    return summary
 
 
 def run_faulted_spark(
     scenario: str,
     seed: int = DEFAULT_SEED,
     quick: bool = False,
+    registry=None,
 ) -> FaultedRunSummary:
     """The Spark cluster (1:1 interleave) through one scenario.
 
@@ -235,7 +270,7 @@ def run_faulted_spark(
     reexec = sum(s.reexec_ns for r in results.values() for s in r.stages)
     poisoned = sum(s.poisoned_bytes for r in results.values() for s in r.stages)
     per_hour = 3600e9 * len(queries)
-    return FaultedRunSummary(
+    summary = FaultedRunSummary(
         app="spark",
         scenario=scenario,
         seed=seed,
@@ -249,6 +284,9 @@ def run_faulted_spark(
             "slowdown": total / base_total if base_total > 0 else math.inf,
         },
     )
+    if registry is not None:
+        _register_summary(registry, summary)
+    return summary
 
 
 FAULT_APPS = {
@@ -263,8 +301,13 @@ def run_faulted_app(
     scenario: str,
     seed: int = DEFAULT_SEED,
     quick: bool = False,
+    registry=None,
 ) -> FaultedRunSummary:
-    """Dispatch one (app, scenario) faulted run."""
+    """Dispatch one (app, scenario) faulted run.
+
+    ``registry`` (a :class:`~repro.obs.registry.MetricsRegistry`) gets
+    the run's RAS tracker and summary bound into it for export.
+    """
     if app not in FAULT_APPS:
         raise ConfigurationError(
             f"unknown app {app!r}; expected one of {sorted(FAULT_APPS)}"
@@ -273,4 +316,4 @@ def run_faulted_app(
         raise ConfigurationError(
             f"unknown fault scenario {scenario!r}; expected one of {sorted(SCENARIOS)}"
         )
-    return FAULT_APPS[app](scenario, seed=seed, quick=quick)
+    return FAULT_APPS[app](scenario, seed=seed, quick=quick, registry=registry)

@@ -1,0 +1,47 @@
+"""``repro.obs`` — the unified observability layer.
+
+Three pieces, all deterministic and all off the hot path by default:
+
+* :mod:`~repro.obs.registry` — a Prometheus-style metrics registry the
+  stack's accounting objects (``Counter``, ``BandwidthMonitor``,
+  ``RecoveryTracker``, ``OverloadMetrics``) register into, with one
+  JSON/CSV snapshot exporter.
+* :mod:`~repro.obs.tracing` — request-scoped per-layer spans in sim
+  time.  Pass :data:`NULL_TRACER` (the default everywhere) for zero-cost
+  no-ops; a live :class:`Tracer` decomposes each op's latency without
+  perturbing the simulation.
+* :mod:`~repro.obs.profile` — engine-level profiling: per-process event
+  counts and sim-time-in-state accounting on :class:`~repro.sim.engine.Simulator`.
+
+``repro metrics`` / ``repro trace`` drive all three over a small
+YCSB-on-CXL run via :func:`~repro.obs.run.run_observed_keydb`.
+"""
+
+from .profile import EngineProfile
+from .registry import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+    Sample,
+    histogram_samples,
+)
+from .run import ObservedRun, run_observed_keydb
+from .tracing import NULL_TRACER, NullTracer, OpTrace, Span, Tracer
+
+__all__ = [
+    "CounterFamily",
+    "EngineProfile",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObservedRun",
+    "OpTrace",
+    "Sample",
+    "Span",
+    "Tracer",
+    "histogram_samples",
+    "run_observed_keydb",
+]

@@ -1,0 +1,313 @@
+"""A Prometheus-style metrics registry with one snapshot exporter.
+
+The stack grew four unrelated accounting schemes — ``sim.stats.Counter``
+bags, ``BandwidthMonitor`` time series, ``RecoveryTracker`` phase
+histograms, ``OverloadMetrics`` funnels.  The registry gives them one
+namespace and one export path: named **counters**, **gauges** and
+**histograms**, each with a fixed label schema, flattened into a list of
+``(name, labels, value)`` samples that serializes to JSON or CSV.
+
+Two registration styles:
+
+* *owned metrics* — ``registry.counter(...)``/``gauge``/``histogram``
+  return a family; ``family.labels(node="cxl0")`` returns the child to
+  increment/set/observe.
+* *collectors* — existing accounting objects register a callback that
+  emits samples lazily at snapshot time (see the ``register_into``
+  methods on :class:`~repro.sim.stats.Counter`,
+  :class:`~repro.sim.monitor.BandwidthMonitor`,
+  :class:`~repro.faults.metrics.RecoveryTracker` and
+  :class:`~repro.overload.metrics.OverloadMetrics`), so wiring them up
+  costs nothing on the hot path.
+
+Histograms flatten into ``<name>_count`` / ``_mean`` / ``_min`` /
+``_max`` / ``_p50`` / ``_p95`` / ``_p99`` samples so every exported
+value is a plain number (CSV stays rectangular, schemas stay simple).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.stats import LatencyHistogram
+
+__all__ = [
+    "Sample",
+    "MetricsRegistry",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Quantiles a histogram family exports.
+_HIST_QUANTILES = (50.0, 95.0, 99.0)
+
+
+class Sample:
+    """One exported measurement: name + labels + numeric value."""
+
+    __slots__ = ("name", "kind", "labels", "value")
+
+    def __init__(self, name: str, kind: str, labels: Dict[str, str], value: float) -> None:
+        self.name = name
+        self.kind = kind
+        self.labels = labels
+        self.value = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (non-finite values become None)."""
+        value: Optional[float] = self.value
+        if value is not None and not math.isfinite(value):
+            value = None
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": {k: str(v) for k, v in self.labels.items()},
+            "value": value,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sample({self.name}{self.labels} = {self.value})"
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(f"invalid metric name: {name!r}")
+    return name
+
+
+class _Family:
+    """Shared machinery: a named metric with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Tuple[str, ...]) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = labelnames
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _child_key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.labelnames)
+
+    def labels(self, **labels: Any):
+        """The child tracking one label combination (created on demand)."""
+        key = self._child_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _label_dicts(self) -> Iterable[Tuple[Dict[str, str], Any]]:
+        for key, child in sorted(self._children.items()):
+            yield dict(zip(self.labelnames, key)), child
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment (counters are monotonic)."""
+        if amount < 0:
+            raise ConfigurationError("counters are monotonic; amount must be >= 0")
+        self.value += amount
+
+
+class CounterFamily(_Family):
+    """A monotonically increasing count, per label set."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        """Shorthand: ``family.inc(3, node="cxl0")``."""
+        self.labels(**labels).inc(amount)
+
+    def samples(self) -> Iterable[Sample]:
+        for labels, child in self._label_dicts():
+            yield Sample(self.name, self.kind, labels, child.value)
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        self.value = float(value)
+
+
+class GaugeFamily(_Family):
+    """A value that can go up or down, per label set."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Shorthand: ``family.set(0.87, node="cxl0")``."""
+        self.labels(**labels).set(value)
+
+    def samples(self) -> Iterable[Sample]:
+        for labels, child in self._label_dicts():
+            yield Sample(self.name, self.kind, labels, child.value)
+
+
+class HistogramFamily(_Family):
+    """A log-bucketed latency histogram, per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        min_value: float = 1.0,
+        growth: float = 1.02,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._min_value = min_value
+        self._growth = growth
+
+    def _make_child(self) -> LatencyHistogram:
+        return LatencyHistogram(min_value=self._min_value, growth=self._growth)
+
+    def observe(self, value: float, count: int = 1, **labels: Any) -> None:
+        """Shorthand: ``family.observe(latency_ns, op="get")``."""
+        self.labels(**labels).record(value, count)
+
+    def samples(self) -> Iterable[Sample]:
+        for labels, hist in self._label_dicts():
+            yield from histogram_samples(self.name, labels, hist)
+
+
+def histogram_samples(
+    name: str, labels: Dict[str, str], hist: LatencyHistogram
+) -> Iterable[Sample]:
+    """Flatten one :class:`LatencyHistogram` into scalar samples."""
+    yield Sample(f"{name}_count", "counter", labels, float(hist.count))
+    yield Sample(f"{name}_mean", "gauge", labels, hist.mean)
+    yield Sample(f"{name}_min", "gauge", labels, hist.min)
+    yield Sample(f"{name}_max", "gauge", labels, hist.max)
+    for q in _HIST_QUANTILES:
+        yield Sample(
+            f"{name}_p{q:g}".replace(".", "_"), "gauge", labels, hist.percentile(q)
+        )
+
+
+class MetricsRegistry:
+    """The one namespace every accounting object exports through."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[[], Iterable[Sample]]] = []
+
+    # -- owned metrics -----------------------------------------------------
+
+    def _family(self, cls, name: str, help: str, labelnames, **kwargs):
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered with a different "
+                    f"type or label schema"
+                )
+            return existing
+        family = cls(name, help, tuple(labelnames), **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> CounterFamily:
+        """Get-or-create a counter family (idempotent per schema)."""
+        return self._family(CounterFamily, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Iterable[str] = ()
+    ) -> GaugeFamily:
+        """Get-or-create a gauge family."""
+        return self._family(GaugeFamily, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Iterable[str] = (),
+        min_value: float = 1.0,
+        growth: float = 1.02,
+    ) -> HistogramFamily:
+        """Get-or-create a histogram family."""
+        return self._family(
+            HistogramFamily, name, help, labelnames,
+            min_value=min_value, growth=growth,
+        )
+
+    # -- collectors --------------------------------------------------------
+
+    def register_collector(self, collect: Callable[[], Iterable[Sample]]) -> None:
+        """Add a lazy sample source, polled once per snapshot."""
+        self._collectors.append(collect)
+
+    # -- export ------------------------------------------------------------
+
+    def samples(self) -> List[Sample]:
+        """Every sample, owned families first, then collectors."""
+        out: List[Sample] = []
+        for name in sorted(self._families):
+            out.extend(self._families[name].samples())
+        for collect in self._collectors:
+            out.extend(collect())
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The full metrics document (``repro.metrics/v1``)."""
+        return {
+            "schema": "repro.metrics/v1",
+            "generated_by": "repro.obs.registry",
+            "metrics": [s.as_dict() for s in self.samples()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON string."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        """The snapshot as ``name,kind,labels,value`` CSV."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["name", "kind", "labels", "value"])
+        for sample in self.samples():
+            labels = ";".join(f"{k}={v}" for k, v in sorted(sample.labels.items()))
+            value = sample.value
+            writer.writerow(
+                [sample.name, sample.kind, labels,
+                 "" if value is None or not math.isfinite(value) else repr(value)]
+            )
+        return buf.getvalue()

@@ -1,0 +1,117 @@
+"""A small JSON-Schema-subset validator for the exporter documents.
+
+CI validates ``repro metrics --json`` / ``repro trace --json`` output
+against the checked-in schemas in ``docs/schemas/`` without adding a
+``jsonschema`` dependency.  The subset covers what those schemas need:
+
+``type`` (including union lists), ``enum``, ``const``, ``required``,
+``properties``, ``additionalProperties`` (boolean form), ``items``,
+``minItems``, ``minimum`` / ``maximum``, and ``pattern``.
+
+Run as a module to validate a document from the shell::
+
+    python -m repro.obs.schema docs/schemas/metrics.schema.json out.json
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["validate", "validation_errors"]
+
+_TYPES = {
+    "object": (dict,),
+    "array": (list,),
+    "string": (str,),
+    "number": (int, float),
+    "integer": (int,),
+    "boolean": (bool,),
+    "null": (type(None),),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name not in _TYPES:
+        raise ValueError(f"unsupported schema type: {name!r}")
+    if isinstance(value, bool) and name in ("number", "integer"):
+        return False  # bool is an int subclass; schemas mean numbers
+    if name == "number" or name == "integer":
+        if name == "integer" and isinstance(value, float):
+            return value.is_integer()
+    return isinstance(value, _TYPES[name])
+
+
+def validation_errors(
+    schema: Dict[str, Any], data: Any, path: str = "$"
+) -> Iterator[str]:
+    """Yield one message per violation (empty iterator = valid)."""
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(data, n) for n in names):
+            yield f"{path}: expected type {declared}, got {type(data).__name__}"
+            return  # further keyword checks would be type errors
+    if "const" in schema and data != schema["const"]:
+        yield f"{path}: expected const {schema['const']!r}, got {data!r}"
+    if "enum" in schema and data not in schema["enum"]:
+        yield f"{path}: {data!r} not in enum {schema['enum']!r}"
+    if "pattern" in schema and isinstance(data, str):
+        if not re.search(schema["pattern"], data):
+            yield f"{path}: {data!r} does not match pattern {schema['pattern']!r}"
+    if isinstance(data, (int, float)) and not isinstance(data, bool):
+        if "minimum" in schema and data < schema["minimum"]:
+            yield f"{path}: {data!r} < minimum {schema['minimum']!r}"
+        if "maximum" in schema and data > schema["maximum"]:
+            yield f"{path}: {data!r} > maximum {schema['maximum']!r}"
+    if isinstance(data, dict):
+        for key in schema.get("required", ()):
+            if key not in data:
+                yield f"{path}: missing required property {key!r}"
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in data:
+                yield from validation_errors(sub, data[key], f"{path}.{key}")
+        if schema.get("additionalProperties") is False:
+            for key in data:
+                if key not in properties:
+                    yield f"{path}: unexpected property {key!r}"
+    if isinstance(data, list):
+        if "minItems" in schema and len(data) < schema["minItems"]:
+            yield f"{path}: {len(data)} items < minItems {schema['minItems']}"
+        items = schema.get("items")
+        if items is not None:
+            for i, element in enumerate(data):
+                yield from validation_errors(items, element, f"{path}[{i}]")
+
+
+def validate(schema: Dict[str, Any], data: Any) -> List[str]:
+    """All violation messages (an empty list means the document passes)."""
+    return list(validation_errors(schema, data))
+
+
+def main(argv: List[str] = None) -> int:
+    """``python -m repro.obs.schema <schema.json> <data.json>``."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.obs.schema <schema.json> <data.json>",
+              file=sys.stderr)
+        return 2
+    with open(argv[0]) as f:
+        schema = json.load(f)
+    with open(argv[1]) as f:
+        data = json.load(f)
+    errors = validate(schema, data)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} schema violation(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {argv[1]} matches {argv[0]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -15,7 +15,7 @@ so a run can show *where* its overload defense spent the excess load.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.stats import LatencyHistogram
 
@@ -124,6 +124,48 @@ class OverloadMetrics:
         for reason, count in sorted(self.shed.items()):
             out[f"shed_{reason}"] = float(count)
         return out
+
+    def register_into(
+        self,
+        registry,
+        prefix: str = "overload",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Export the funnel and the latency histogram through a registry.
+
+        Funnel counts become ``<prefix>_<stage>_total`` counters (loss
+        reasons labelled ``reason=``); the completed-work latency
+        flattens through the registry's histogram convention.  Sampling
+        is lazy — nothing is touched until snapshot time.
+        """
+        # Imported here: repro.obs.registry imports repro.sim.stats,
+        # which sits below this module; runtime import avoids a cycle.
+        from ..obs.registry import Sample, histogram_samples
+
+        base = dict(labels or {})
+
+        def collect():
+            for stage in ("offered", "admitted", "completed", "good",
+                          "deadline_misses"):
+                yield Sample(
+                    f"{prefix}_{stage}_total", "counter", dict(base),
+                    float(getattr(self, stage)),
+                )
+            for reason, count in sorted(self.rejected.items()):
+                yield Sample(
+                    f"{prefix}_rejected_total", "counter",
+                    {**base, "reason": reason}, float(count),
+                )
+            for reason, count in sorted(self.shed.items()):
+                yield Sample(
+                    f"{prefix}_shed_total", "counter",
+                    {**base, "reason": reason}, float(count),
+                )
+            yield from histogram_samples(
+                f"{prefix}_latency_ns", dict(base), self.latency
+            )
+
+        registry.register_collector(collect)
 
     def rows(self) -> List[Tuple[str, str]]:
         """(quantity, value) pairs for ascii_table rendering."""

@@ -130,12 +130,15 @@ def _fresh_server(
     seed: int,
     threads: int,
     controller: Optional[OverloadController],
+    tracer=None,
+    engine_profile=None,
 ):
     """A brand-new DES server + generator (state is never reused)."""
     # Imported here, not at module top: the apps import repro.overload,
     # so a top-level import would be circular.
     from ..apps.kvstore.des_server import DesKeyDbServer
     from ..apps.kvstore.experiment import build_keydb_experiment
+    from ..obs.tracing import NULL_TRACER
 
     experiment = build_keydb_experiment(
         config, record_count=record_count, seed=seed, threads=threads
@@ -145,6 +148,8 @@ def _fresh_server(
         experiment.server.store,
         threads=threads,
         overload=controller,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+        engine_profile=engine_profile,
     )
     return server, experiment.generator, experiment.platform
 
@@ -222,11 +227,21 @@ def run_offered_load(
     label: str = "run",
     load_factor: float = float("nan"),
     injector: Optional[FaultInjector] = None,
+    registry=None,
+    tracer=None,
+    engine_profile=None,
 ) -> OverloadRunSummary:
-    """One open-loop run at a fixed offered rate, summarized."""
+    """One open-loop run at a fixed offered rate, summarized.
+
+    ``registry``/``tracer``/``engine_profile`` hook the run into the
+    observability layer: the overload funnel and per-op counters bind
+    into the registry, spans and engine accounting flow into the given
+    tracer/profile.
+    """
     controller = OverloadController(policy)
     server, generator, platform = _fresh_server(
-        config, record_count, seed, threads, controller
+        config, record_count, seed, threads, controller,
+        tracer=tracer, engine_profile=engine_profile,
     )
     if injector is not None:
         controller.bind_faults(injector)
@@ -238,6 +253,12 @@ def run_offered_load(
         injector=injector,
     )
     metrics = controller.metrics
+    if registry is not None:
+        metrics.register_into(registry, labels={"run": label})
+        result.counters.register_into(registry, "keydb_ops",
+                                      labels={"run": label})
+        if engine_profile is not None:
+            engine_profile.register_into(registry)
     elapsed = max(result.elapsed_ns, 1.0)
     del platform
     return OverloadRunSummary(

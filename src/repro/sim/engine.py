@@ -118,12 +118,22 @@ class Process(Event):
     is an event that succeeds with the generator's return value.
     """
 
-    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        label: Optional[str] = None,
+    ) -> None:
         super().__init__(sim)
         self._gen = gen
+        #: Process-type label for engine profiling (defaults to the
+        #: generator function's name).
+        self.label = label or getattr(gen, "__name__", "process")
         # Kick off at the current time via an immediate timeout so that
         # process creation order does not bypass the event queue.
         start = Timeout(sim, 0.0)
+        if sim.profile is not None:
+            start._owner = self.label
         start.callbacks.append(self._resume)
 
     def _resume(self, trigger: Event) -> None:
@@ -154,6 +164,10 @@ class Process(Event):
             raise SimulationError(
                 f"process yielded {target!r}; processes must yield Event objects"
             )
+        if self.sim.profile is not None and getattr(target, "_owner", None) is None:
+            # Tag the awaited event so the profiler can attribute the
+            # sim-time spent waiting on it to this process type.
+            target._owner = self.label
         if target.dispatched:
             # Already-dispatched event: its callback list is dead, so
             # resume via an immediate timeout carrying the same value —
@@ -241,6 +255,10 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
+        #: Optional :class:`repro.obs.profile.EngineProfile`; when set,
+        #: every dispatch is accounted (passively — heap order, clock
+        #: and results are unchanged).
+        self.profile: Optional[Any] = None
 
     # -- scheduling ------------------------------------------------------
 
@@ -265,9 +283,15 @@ class Simulator:
         """Create an event that fires ``delay`` ns from now."""
         return Timeout(self, delay, value)
 
-    def process(self, gen: Generator[Event, Any, Any]) -> Process:
-        """Start a process from a generator; returns its completion event."""
-        return Process(self, gen)
+    def process(
+        self, gen: Generator[Event, Any, Any], label: Optional[str] = None
+    ) -> Process:
+        """Start a process from a generator; returns its completion event.
+
+        ``label`` names the process type for engine profiling; it
+        defaults to the generator function's name.
+        """
+        return Process(self, gen, label=label)
 
     def all_of(self, events: List[Event]) -> AllOf:
         """Event that fires when every event in ``events`` has fired."""
@@ -284,6 +308,9 @@ class Simulator:
         if not self._heap:
             raise SimulationError("no scheduled events")
         time, _, event = heapq.heappop(self._heap)
+        profile = self.profile
+        if profile is not None:
+            profile.on_step(event, self.now, time)
         self.now = time
         event._dispatch()
 

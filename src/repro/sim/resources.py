@@ -44,14 +44,24 @@ class Resource:
         return ev
 
     def release(self) -> None:
-        """Return one slot; hands it to the oldest waiter if any."""
+        """Return one slot; hands it to the oldest *pending* waiter.
+
+        A queued waiter may already be dead — its grant event failed by
+        a deadline shedder or the fault injector while it sat in line.
+        Handing the slot to such a waiter would consume the slot forever
+        (nothing resumes to release it), so dead waiters are skipped and
+        dropped here.
+        """
         if self.in_use <= 0:
             raise SimulationError("release without matching request")
-        if self._waiters:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue  # shed/failed while queued: never held the slot
             # Slot moves directly to the next waiter; in_use is unchanged.
-            self._waiters.popleft().succeed()
-        else:
-            self.in_use -= 1
+            waiter.succeed()
+            return
+        self.in_use -= 1
 
     @property
     def queue_length(self) -> int:

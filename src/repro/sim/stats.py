@@ -47,6 +47,29 @@ class RunningStat:
         if value > self.max:
             self.max = value
 
+    def record_many(self, value: float, count: int) -> None:
+        """Add ``count`` identical samples in O(1).
+
+        Closed-form batched Welford update: a block of ``count`` copies
+        of ``value`` has zero within-block variance, so folding it in is
+        the parallel-merge formula with ``other._m2 == 0``.  Equivalent
+        to calling :meth:`record` ``count`` times, without the loop.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count == 1:
+            self.record(value)
+            return
+        total = self.count + count
+        delta = value - self._mean
+        self._mean += delta * count / total
+        self._m2 += delta * delta * self.count * count / total
+        self.count = total
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
     @property
     def mean(self) -> float:
         """Arithmetic mean of the samples recorded so far (0 if empty)."""
@@ -142,8 +165,7 @@ class LatencyHistogram:
             raise ValueError("count must be positive")
         idx = self._bucket_index(value)
         self._buckets[idx] = self._buckets.get(idx, 0) + count
-        for _ in range(count):
-            self.stat.record(value)
+        self.stat.record_many(value, count)
 
     def percentile(self, p: float) -> float:
         """Return the value at percentile ``p`` (0 < p <= 100).
@@ -184,16 +206,29 @@ class LatencyHistogram:
         return self.stat.min if self.count else 0.0
 
     def cdf(self, points: int = 100) -> List[CdfPoint]:
-        """Return the empirical CDF, downsampled to at most ``points``."""
+        """Return the empirical CDF, downsampled to at most ``points``.
+
+        The final point is always the last occupied bucket, so its
+        fraction is exactly 1.0.  Selection is anchored at that last
+        bucket and walks backwards in even strides, which keeps the
+        output within the ``points`` bound (a truncating stride could
+        otherwise emit up to twice as many).
+        """
+        if points <= 0:
+            raise ValueError("points must be positive")
         if self.count == 0:
             return []
+        indices = sorted(self._buckets)
+        stride = max(1, -(-len(indices) // points))  # ceil division
+        selected = {
+            len(indices) - 1 - k * stride
+            for k in range(-(-len(indices) // stride))
+        }
         out: List[CdfPoint] = []
         seen = 0
-        indices = sorted(self._buckets)
-        stride = max(1, len(indices) // points)
         for rank, idx in enumerate(indices):
             seen += self._buckets[idx]
-            if rank % stride == 0 or rank == len(indices) - 1:
+            if rank in selected:
                 out.append(CdfPoint(self._bucket_value(idx), seen / self.count))
         return out
 
@@ -282,3 +317,30 @@ class Counter:
     def names(self) -> Iterable[str]:
         """The counter names seen so far."""
         return self._counts.keys()
+
+    def register_into(
+        self,
+        registry,
+        prefix: str,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Export this bag through a metrics registry.
+
+        Each key becomes a ``<prefix>_total`` counter sample labelled
+        ``counter=<key>`` (plus any caller labels).  Samples are drawn
+        lazily at snapshot time, so registration costs nothing on the
+        recording path.
+        """
+        # Imported here: repro.obs.registry imports this module.
+        from ..obs.registry import Sample
+
+        base = dict(labels or {})
+
+        def collect():
+            for key, value in sorted(self._counts.items()):
+                yield Sample(
+                    f"{prefix}_total", "counter",
+                    {**base, "counter": key}, value,
+                )
+
+        registry.register_collector(collect)

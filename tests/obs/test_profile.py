@@ -1,0 +1,81 @@
+"""Tests for engine profiling hooks."""
+
+import pytest
+
+from repro.obs import EngineProfile, MetricsRegistry
+from repro.sim import Simulator
+
+
+def _two_process_sim(profile=None):
+    sim = Simulator()
+    if profile is not None:
+        profile.attach(sim)
+
+    def fast():
+        for _ in range(10):
+            yield sim.timeout(1.0)
+
+    def slow():
+        yield sim.timeout(100.0)
+
+    sim.process(fast(), label="fast")
+    sim.process(slow(), label="slow")
+    sim.run()
+    return sim
+
+
+class TestEngineProfile:
+    def test_counts_events_and_processes(self):
+        profile = EngineProfile()
+        _two_process_sim(profile)
+        # 10 fast timeouts + 1 slow timeout + 2 start timeouts.
+        assert profile.event_counts["Timeout"] == 13
+        assert profile.event_counts["Process"] == 2
+        assert profile.process_counts["fast"] == 11
+        assert profile.process_counts["slow"] == 2
+        assert profile.steps == sum(profile.event_counts.values())
+
+    def test_sim_time_attribution(self):
+        profile = EngineProfile()
+        _two_process_sim(profile)
+        # fast owns the first 10 ns; slow owns the 10 -> 100 ns stretch.
+        assert profile.process_time_ns["fast"] == pytest.approx(10.0)
+        assert profile.process_time_ns["slow"] == pytest.approx(90.0)
+        assert profile.dominant_process() == "slow"
+
+    def test_label_defaults_to_generator_name(self):
+        sim = Simulator()
+        profile = EngineProfile().attach(sim)
+
+        def pinger():
+            yield sim.timeout(1.0)
+
+        sim.process(pinger())
+        sim.run()
+        assert "pinger" in profile.process_counts
+
+    def test_profiling_does_not_perturb_timing(self):
+        bare = _two_process_sim()
+        profiled = _two_process_sim(EngineProfile())
+        assert profiled.now == bare.now
+
+    def test_empty_profile_defaults(self):
+        profile = EngineProfile()
+        assert profile.dominant_process() == ""
+        assert profile.rows() == []
+        assert profile.as_dict()["steps"] == 0
+
+    def test_register_into(self):
+        profile = EngineProfile()
+        _two_process_sim(profile)
+        registry = MetricsRegistry()
+        profile.register_into(registry)
+        by_name = {}
+        for s in registry.samples():
+            by_name.setdefault(s.name, []).append(s)
+        assert by_name["engine_steps_total"][0].value == float(profile.steps)
+        times = {
+            s.labels["process"]: s.value
+            for s in by_name["engine_process_sim_time_ns"]
+        }
+        assert times["slow"] == pytest.approx(90.0)

@@ -45,3 +45,29 @@ class TestBandwidthMonitor:
         monitor = BandwidthMonitor()
         assert monitor.peak_utilization("nope") == 0.0
         assert monitor.mean_utilization("nope") == 0.0
+
+    def test_byte_crediting_unit_round_trip(self):
+        # observe() credits rate (bytes/s) * interval (ns) / 1e9 per
+        # round: a source sustaining 4 B/s over 2.5 simulated seconds
+        # must round-trip to exactly 10 bytes, whatever the split.
+        monitor = BandwidthMonitor()
+        monitor.observe(0.0, allocate([4.0]), interval_ns=1e9)
+        monitor.observe(1e9, allocate([4.0]), interval_ns=0.5e9)
+        monitor.observe(1.5e9, allocate([4.0]), interval_ns=1e9)
+        assert monitor.total_bytes("s0") == pytest.approx(4.0 * 2.5)
+
+    def test_zero_interval_credits_nothing(self):
+        monitor = BandwidthMonitor()
+        monitor.observe(0.0, allocate([8.0]))  # default interval_ns=0
+        monitor.observe(1.0, allocate([8.0]), interval_ns=0.0)
+        assert monitor.total_bytes("s0") == 0.0
+        # The rate series itself is still recorded.
+        assert len(monitor.achieved["s0"]) == 2
+
+    def test_contended_sources_credit_achieved_not_requested(self):
+        # Two sources asking 8 B/s each on a 10 B/s link achieve 5 B/s:
+        # byte totals must reflect the allocation, not the demand.
+        monitor = BandwidthMonitor()
+        monitor.observe(0.0, allocate([8.0, 8.0], capacity=10.0), interval_ns=2e9)
+        assert monitor.total_bytes("s0") == pytest.approx(10.0)
+        assert monitor.total_bytes("s1") == pytest.approx(10.0)

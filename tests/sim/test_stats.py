@@ -56,6 +56,80 @@ class TestRunningStat:
         assert s.mean == pytest.approx(sum(values) / len(values), rel=1e-9, abs=1e-6)
 
 
+class TestRecordMany:
+    def test_matches_looped_records_exactly(self):
+        batched, looped = RunningStat(), RunningStat()
+        batched.record(3.0)
+        looped.record(3.0)
+        batched.record_many(7.5, 1000)
+        for _ in range(1000):
+            looped.record(7.5)
+        batched.record_many(-2.0, 3)
+        for _ in range(3):
+            looped.record(-2.0)
+        assert batched.count == looped.count
+        assert batched.mean == pytest.approx(looped.mean, rel=1e-12)
+        assert batched.variance == pytest.approx(looped.variance, rel=1e-9)
+        assert batched.min == looped.min
+        assert batched.max == looped.max
+
+    def test_huge_count_is_constant_time(self):
+        # A million-sample batch must not loop; the closed form gives
+        # the exact moments of 10**6 identical values instantly.
+        s = RunningStat()
+        s.record(100.0)
+        s.record_many(50.0, 10**6)
+        assert s.count == 10**6 + 1
+        assert s.mean == pytest.approx((100.0 + 50.0 * 10**6) / (10**6 + 1))
+        # Variance of {100} u {50 x 1e6}: delta^2 * n*k / total.
+        assert s.variance == pytest.approx(
+            2500.0 * 10**6 / (10**6 + 1) ** 2, rel=1e-9
+        )
+        assert s.min == 50.0
+        assert s.max == 100.0
+
+    def test_histogram_record_count_matches_loop(self):
+        batched, looped = LatencyHistogram(), LatencyHistogram()
+        batched.record(200.0, count=10**6)
+        for _ in range(100):
+            looped.record(200.0)
+        assert batched.count == 10**6
+        assert batched.mean == looped.mean
+        assert batched.stat.variance == pytest.approx(0.0, abs=1e-9)
+        assert batched.percentile(99) == looped.percentile(99)
+
+    def test_rejects_nonpositive_count(self):
+        s = RunningStat()
+        with pytest.raises(ValueError):
+            s.record_many(1.0, 0)
+        with pytest.raises(ValueError):
+            s.record_many(1.0, -5)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1e6, max_value=1e6),
+                st.integers(min_value=1, max_value=50),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_batched_equals_looped_property(self, blocks):
+        batched, looped = RunningStat(), RunningStat()
+        for value, count in blocks:
+            batched.record_many(value, count)
+            for _ in range(count):
+                looped.record(value)
+        assert batched.count == looped.count
+        assert batched.mean == pytest.approx(looped.mean, rel=1e-9, abs=1e-6)
+        assert batched.variance == pytest.approx(
+            looped.variance, rel=1e-6, abs=1e-3
+        )
+        assert batched.min == looped.min
+        assert batched.max == looped.max
+
+
 class TestLatencyHistogram:
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
@@ -114,6 +188,47 @@ class TestLatencyHistogram:
         assert values == sorted(values)
         assert fractions[-1] == pytest.approx(1.0)
 
+    def test_cdf_respects_points_bound(self):
+        # Many occupied buckets + small points used to emit up to ~2x
+        # the requested number (truncating stride); the bound is hard.
+        h = LatencyHistogram(min_value=1.0, growth=1.02)
+        for v in range(1, 400):
+            h.record(float(v))
+        for points in (1, 2, 3, 5, 7, 10, 50, 1000):
+            cdf = h.cdf(points=points)
+            assert 0 < len(cdf) <= points
+            assert cdf[-1].fraction == 1.0  # exactly, not approximately
+
+    def test_cdf_final_point_is_last_bucket(self):
+        h = LatencyHistogram()
+        for v in (10.0, 20.0, 5000.0):
+            h.record(v)
+        cdf = h.cdf(points=2)
+        assert len(cdf) <= 2
+        assert cdf[-1].fraction == 1.0
+        # Last point represents the largest occupied bucket.
+        assert cdf[-1].value >= 5000.0 / 1.02
+
+    def test_cdf_rejects_nonpositive_points(self):
+        h = LatencyHistogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.cdf(points=0)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=120),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_cdf_bound_property(self, values, points):
+        h = LatencyHistogram()
+        for v in values:
+            h.record(v)
+        cdf = h.cdf(points=points)
+        assert 0 < len(cdf) <= points
+        fractions = [p.fraction for p in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
     def test_merge(self):
         a, b = LatencyHistogram(), LatencyHistogram()
         a.record(100.0)
@@ -169,6 +284,23 @@ class TestTimeSeries:
         assert ts.time_weighted_mean() == 0.0
         ts.record(1.0, 5.0)
         assert ts.time_weighted_mean() == 5.0
+
+    def test_time_weighted_mean_zero_span(self):
+        # All samples at the same instant: no interval to weight by, so
+        # it degrades to the unweighted mean instead of dividing by 0.
+        ts = TimeSeries()
+        ts.record(2.0, 10.0)
+        ts.record(2.0, 30.0)
+        assert ts.time_weighted_mean() == pytest.approx(20.0)
+
+    def test_final_value_has_zero_weight(self):
+        # The terminal sample's holding interval is unknown; an outlier
+        # there must not move the mean.
+        ts = TimeSeries()
+        ts.record(0.0, 4.0)
+        ts.record(2.0, 4.0)
+        ts.record(4.0, 1e9)
+        assert ts.time_weighted_mean() == pytest.approx(4.0)
 
 
 class TestCounter:
