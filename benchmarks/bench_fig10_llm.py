@@ -4,6 +4,9 @@ Regenerates all three panels and checks the §5.2 anchors: near-linear
 scaling to 48 threads, 3:1 ~95 % over MMEM-only at 60 threads, MMEM-only
 losing to 1:3 beyond 64 threads, the 24.2 GB/s single-backend plateau,
 and the ~12 → ~21 GB/s KV-cache bandwidth ramp.
+
+The figure's independent cells fan out across processes when $REPRO_WORKERS
+is set (parallel results are bit-identical to serial; see docs/architecture.md).
 """
 
 import pytest

@@ -4,6 +4,9 @@ Regenerates the four panels of Fig. 3 with the calibrated MLC probe
 (16 threads, SNC-4 enabled) and checks the §3.2 anchors: idle latencies
 (97 / 130 / 250.42 / 485 ns), peak bandwidths (67 / 54.6 / 56.7 /
 20.4 GB/s) and the latency blow-up near saturation.
+
+The figure's independent cells fan out across processes when $REPRO_WORKERS
+is set (parallel results are bit-identical to serial; see docs/architecture.md).
 """
 
 import pytest

@@ -4,6 +4,9 @@ Panels (a)-(f) sweep six read:write mixes over all four distances in
 sequential order; (g)/(h) repeat read-only and write-only with random
 access.  Checks the §3.3 claims: the CXL:DDR latency ratios, the
 knee-point's leftward shift with write share, and pattern insensitivity.
+
+The figure's independent cells fan out across processes when $REPRO_WORKERS
+is set (parallel results are bit-identical to serial; see docs/architecture.md).
 """
 
 import pytest

@@ -4,6 +4,9 @@ Runs all four YCSB workloads against all seven configurations (scaled
 working set, same placement ratios) and checks §4.1.2: MMEM fastest,
 Hot-Promote ~MMEM, interleave 1.2-1.5x slower, SSD spill slowest with
 the heavy tail of Fig. 5(b)/(c).
+
+The figure's independent cells fan out across processes when $REPRO_WORKERS
+is set (parallel results are bit-identical to serial; see docs/architecture.md).
 """
 
 import pytest

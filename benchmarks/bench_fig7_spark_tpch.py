@@ -5,6 +5,9 @@ three-server MMEM deployment, (b) the shuffle write/read share of each
 query's wall-clock.  Checks §4.2.2's bands: interleave 1.4-9.8x,
 Hot-Promote >34 %, deep spill slower than any interleave and >90 %
 shuffle-dominated.
+
+The figure's independent cells fan out across processes when $REPRO_WORKERS
+is set (parallel results are bit-identical to serial; see docs/architecture.md).
 """
 
 import pytest

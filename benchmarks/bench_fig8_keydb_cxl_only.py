@@ -3,6 +3,9 @@
 Checks the spare-core anchors: ~12.5 % throughput drop and a 9-27 %
 read-latency penalty (well below the raw 2.5x path-latency ratio,
 because Redis processing dominates), plus the §4.3.2 revenue arithmetic.
+
+The figure's independent cells fan out across processes when $REPRO_WORKERS
+is set (parallel results are bit-identical to serial; see docs/architecture.md).
 """
 
 import pytest

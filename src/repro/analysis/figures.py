@@ -4,27 +4,34 @@ One function per paper artifact; each returns plain data structures the
 benchmarks print and the tests assert on.  All runners accept scale
 parameters so the same code serves quick CI checks and the full
 benchmark harness.
+
+Every runner also accepts ``workers``: its independent cells fan out
+through :func:`repro.parallel.run_sweep` (``None`` defers to
+``$REPRO_WORKERS``, defaulting to serial in-process execution).  Cells
+keep the paper protocol of sharing the root seed, and results are
+re-assembled in the historical order, so a parallel figure is
+bit-identical to a serial one.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..apps.kvstore import run_keydb_config, run_keydb_cxl_only
 from ..apps.kvstore.server import KeyDbResult
 from ..apps.llm import LLM_CONFIGS, LlmServingExperiment, ServingPoint
-from ..apps.spark import run_all_spark_configs
+from ..apps.spark import SPARK_CONFIGS
 from ..apps.spark.job import QueryResult
-from ..hw.presets import paper_cxl_platform
 from ..hw.topology import Platform
-from ..workloads.mlc import MlcCurve, MlcProbe
+from ..parallel import SweepPoint, SweepSpec, run_sweep, tasks
+from ..workloads.mlc import MlcCurve
 from ..units import GIB
 
 __all__ = [
     "fig3_loaded_latency",
     "fig4_path_comparison",
     "Fig5Result",
+    "fig5_sweep_spec",
     "fig5_keydb",
     "fig7_spark",
     "Fig8Result",
@@ -59,23 +66,29 @@ def fig3_loaded_latency(
     panels: Sequence[str] = FIG3_PANELS,
     mixes: Sequence[Tuple[int, int]] = FIG3_MIXES,
     load_points: int = 24,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, MlcCurve]]:
     """Fig. 3: loaded-latency curves for the four distances.
 
     Returns ``{panel: {"r:w": MlcCurve}}`` with 16 MLC threads on the
-    SNC-enabled platform, as in §3.1.
+    SNC-enabled platform, as in §3.1.  Panels are independent and fan
+    out across ``workers`` processes.
     """
-    platform = paper_cxl_platform(snc_enabled=True)
-    probe = MlcProbe(platform, threads=16)
     fractions = [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
-    out: Dict[str, Dict[str, MlcCurve]] = {}
-    for panel in panels:
-        path = _panel_path(platform, panel)
-        out[panel] = {
-            f"{r}:{w}": probe.loaded_latency_curve(path, r, w, load_points=fractions)
-            for r, w in mixes
-        }
-    return out
+    spec = SweepSpec(
+        name="fig3",
+        task=tasks.fig3_panel,
+        points=tuple(
+            SweepPoint(
+                key=panel,
+                params={"panel": panel, "mixes": [list(m) for m in mixes],
+                        "fractions": fractions},
+            )
+            for panel in panels
+        ),
+    )
+    sweep = run_sweep(spec, workers=workers).raise_failures()
+    return {pr.key: pr.value for pr in sweep.results}
 
 
 def fig4_path_comparison(
@@ -84,26 +97,34 @@ def fig4_path_comparison(
     ),
     patterns: Sequence[str] = ("sequential", "random"),
     load_points: int = 24,
+    workers: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, MlcCurve]]]:
     """Fig. 4: per-mix comparison of all distances, both patterns.
 
     Returns ``{pattern: {"r:w": {panel: MlcCurve}}}`` — panels (a)-(f)
     are the sequential mixes; (g)/(h) are the random read/write-only.
+    Each (pattern, mix) cell fans out across ``workers`` processes.
     """
-    platform = paper_cxl_platform(snc_enabled=True)
     fractions = [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
+    spec = SweepSpec(
+        name="fig4",
+        task=tasks.fig4_pattern_mix,
+        points=tuple(
+            SweepPoint(
+                key=f"{pattern}/{r}:{w}",
+                params={"pattern": pattern, "mix": [r, w],
+                        "fractions": fractions},
+            )
+            for pattern in patterns
+            for r, w in write_fractions_mixes
+        ),
+    )
+    sweep = run_sweep(spec, workers=workers).raise_failures()
     out: Dict[str, Dict[str, Dict[str, MlcCurve]]] = {}
-    for pattern in patterns:
-        probe = MlcProbe(platform, threads=16, pattern=pattern)
-        per_mix: Dict[str, Dict[str, MlcCurve]] = {}
-        for r, w in write_fractions_mixes:
-            per_mix[f"{r}:{w}"] = {
-                panel: probe.loaded_latency_curve(
-                    _panel_path(platform, panel), r, w, load_points=fractions
-                )
-                for panel in FIG3_PANELS
-            }
-        out[pattern] = per_mix
+    for point, pr in zip(spec.points, sweep.results):
+        pattern = point.params["pattern"]
+        r, w = point.params["mix"]
+        out.setdefault(pattern, {})[f"{r}:{w}"] = pr.value
     return out
 
 
@@ -135,6 +156,44 @@ class Fig5Result:
         return base / self.results[workload][config].throughput_ops_per_s
 
 
+def fig5_sweep_spec(
+    workloads: Sequence[str] = ("A", "B", "C", "D"),
+    configs: Sequence[str] = (
+        "mmem", "mmem-ssd-0.2", "mmem-ssd-0.4", "3:1", "1:1", "1:3", "hot-promote",
+    ),
+    record_count: int = 65_536,
+    total_ops: int = 100_000,
+    seed: int = 0xC0FFEE,
+    observed: bool = False,
+) -> SweepSpec:
+    """The Fig. 5 grid as a sweep spec (one point per cell).
+
+    Cells share the root seed — the paper's protocol runs every
+    configuration against the same workload draw.  ``observed=True``
+    swaps in the task variant that also snapshots a per-cell
+    ``repro.metrics/v1`` document (used by ``repro sweep fig5``).
+    """
+    return SweepSpec(
+        name="fig5",
+        task=tasks.fig5_cell_observed if observed else tasks.fig5_cell,
+        points=tuple(
+            SweepPoint(
+                key=f"{workload}/{config}",
+                params={
+                    "workload": workload,
+                    "config": config,
+                    "record_count": record_count,
+                    "total_ops": total_ops,
+                },
+                seed=seed,
+            )
+            for workload in workloads
+            for config in configs
+        ),
+        base_seed=seed,
+    )
+
+
 def fig5_keydb(
     workloads: Sequence[str] = ("A", "B", "C", "D"),
     configs: Sequence[str] = (
@@ -143,26 +202,36 @@ def fig5_keydb(
     record_count: int = 65_536,
     total_ops: int = 100_000,
     seed: int = 0xC0FFEE,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Fig. 5: run every (workload, configuration) cell."""
+    spec = fig5_sweep_spec(
+        workloads=workloads,
+        configs=configs,
+        record_count=record_count,
+        total_ops=total_ops,
+        seed=seed,
+    )
+    sweep = run_sweep(spec, workers=workers).raise_failures()
     result = Fig5Result()
-    for workload in workloads:
-        result.results[workload] = {
-            config: run_keydb_config(
-                config,
-                workload=workload,
-                record_count=record_count,
-                total_ops=total_ops,
-                seed=seed,
-            )
-            for config in configs
-        }
+    for point, pr in zip(spec.points, sweep.results):
+        workload = point.params["workload"]
+        result.results.setdefault(workload, {})[point.params["config"]] = pr.value
     return result
 
 
-def fig7_spark() -> Dict[str, Dict[str, QueryResult]]:
+def fig7_spark(workers: Optional[int] = None) -> Dict[str, Dict[str, QueryResult]]:
     """Fig. 7: every Spark configuration x every TPC-H query."""
-    return run_all_spark_configs()
+    spec = SweepSpec(
+        name="fig7",
+        task=tasks.fig7_config,
+        points=tuple(
+            SweepPoint(key=config, params={"config": config})
+            for config in SPARK_CONFIGS
+        ),
+    )
+    sweep = run_sweep(spec, workers=workers).raise_failures()
+    return {pr.key: pr.value for pr in sweep.results}
 
 
 @dataclass
@@ -187,13 +256,31 @@ class Fig8Result:
 
 
 def fig8_cxl_only(
-    record_count: int = 102_400, total_ops: int = 150_000, seed: int = 0xC0FFEE
+    record_count: int = 102_400,
+    total_ops: int = 150_000,
+    seed: int = 0xC0FFEE,
+    workers: Optional[int] = None,
 ) -> Fig8Result:
     """Fig. 8: the §4.3 numactl-bound YCSB-C pair."""
-    return Fig8Result(
-        mmem=run_keydb_cxl_only(False, record_count, total_ops, seed),
-        cxl=run_keydb_cxl_only(True, record_count, total_ops, seed),
+    spec = SweepSpec(
+        name="fig8",
+        task=tasks.fig8_cell,
+        points=tuple(
+            SweepPoint(
+                key=key,
+                params={
+                    "on_cxl": on_cxl,
+                    "record_count": record_count,
+                    "total_ops": total_ops,
+                },
+                seed=seed,
+            )
+            for key, on_cxl in (("mmem", False), ("cxl", True))
+        ),
+        base_seed=seed,
     )
+    sweep = run_sweep(spec, workers=workers).raise_failures()
+    return Fig8Result(mmem=sweep.value("mmem"), cxl=sweep.value("cxl"))
 
 
 @dataclass
@@ -216,12 +303,23 @@ def fig10_llm(
     backend_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
     fig10b_threads: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32),
     fig10c_kv_gib: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
+    workers: Optional[int] = None,
 ) -> Fig10Result:
     """Fig. 10(a)-(c): serving-rate sweep plus both bandwidth probes."""
-    serving = {
-        config: LlmServingExperiment(config).sweep(backend_counts)
-        for config in LLM_CONFIGS
-    }
+    spec = SweepSpec(
+        name="fig10",
+        task=tasks.fig10_config,
+        points=tuple(
+            SweepPoint(
+                key=config,
+                params={"config": config,
+                        "backend_counts": [int(n) for n in backend_counts]},
+            )
+            for config in LLM_CONFIGS
+        ),
+    )
+    sweep = run_sweep(spec, workers=workers).raise_failures()
+    serving = {pr.key: pr.value for pr in sweep.results}
     probe = LlmServingExperiment("mmem")
     fig10b = [(t, probe.fig10b_bandwidth_gbps(t)) for t in fig10b_threads]
     fig10c = [

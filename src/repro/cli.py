@@ -17,6 +17,12 @@ paper-style rows/series::
     repro overload faults --quick         # shedding vs uncontrolled
     repro metrics --quick --json          # metrics-registry snapshot
     repro trace --quick                   # per-layer latency breakdown
+    repro sweep fig5 --quick --workers 4  # parallel sweep, merged metrics
+
+Sweep-shaped commands (figures, ``overload sweep``, ``faults run``,
+``sweep``) take ``--workers N`` to fan independent points across
+processes; ``$REPRO_WORKERS`` sets the default.  Parallel results are
+bit-identical to serial ones.
 
 The same runners back ``pytest benchmarks/``; the CLI is the
 no-test-harness path for interactive exploration.
@@ -29,6 +35,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .errors import ConfigurationError
 from .analysis import (
     TABLE1,
     TABLE2_HEADERS,
@@ -51,7 +58,8 @@ __all__ = ["main"]
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    panels = fig3_loaded_latency(load_points=8 if args.quick else 24)
+    panels = fig3_loaded_latency(load_points=8 if args.quick else 24,
+                                 workers=args.workers)
     for panel, curves in panels.items():
         rows = [
             (mix, f"{c.idle_latency_ns:.1f}", f"{c.peak_bandwidth_gbps:.1f}")
@@ -62,7 +70,8 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
-    data = fig4_path_comparison(load_points=8 if args.quick else 24)
+    data = fig4_path_comparison(load_points=8 if args.quick else 24,
+                                workers=args.workers)
     for pattern, per_mix in data.items():
         rows = []
         for mix, panels in per_mix.items():
@@ -80,7 +89,8 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
     scale = (16_384, 20_000) if args.quick else (65_536, 100_000)
-    result = fig5_keydb(record_count=scale[0], total_ops=scale[1])
+    result = fig5_keydb(record_count=scale[0], total_ops=scale[1],
+                        workers=args.workers)
     rows = []
     for config, per_wl in result.throughput_table():
         rows.append([config] + [f"{per_wl[w]:.0f}" for w in ("A", "B", "C", "D")])
@@ -90,7 +100,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    results = fig7_spark()
+    results = fig7_spark(workers=args.workers)
     base = {q: r.total_ns for q, r in results["mmem"].items()}
     rows = []
     for name, per_query in results.items():
@@ -106,7 +116,8 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
     scale = (20_480, 20_000) if args.quick else (102_400, 150_000)
-    pair = fig8_cxl_only(record_count=scale[0], total_ops=scale[1])
+    pair = fig8_cxl_only(record_count=scale[0], total_ops=scale[1],
+                         workers=args.workers)
     print(
         ascii_table(
             ["quantity", "value"],
@@ -124,7 +135,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
-    result = fig10_llm()
+    result = fig10_llm(workers=args.workers)
     configs = list(result.serving)
     rows = []
     for point in result.serving["mmem"]:
@@ -212,24 +223,47 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     import json
 
     from .errors import ConfigurationError
-    from .faults import FAULT_APPS, run_faulted_app
+    from .faults import FAULT_APPS, SCENARIOS
+    from .parallel import SweepPoint, SweepSpec, run_sweep, tasks
 
+    if args.scenario not in SCENARIOS:
+        print(f"error: unknown fault scenario {args.scenario!r}; expected one "
+              f"of {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
     apps = sorted(FAULT_APPS) if args.app == "all" else [args.app]
-    payload = []
-    for app in apps:
-        try:
-            summary = run_faulted_app(
-                app, args.scenario, seed=args.seed, quick=args.quick
+    spec = SweepSpec(
+        name="faults",
+        task=tasks.fault_case,
+        points=tuple(
+            SweepPoint(
+                key=app,
+                params={"app": app, "scenario": args.scenario,
+                        "quick": args.quick},
+                seed=args.seed,
             )
-        except ConfigurationError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+            for app in apps
+        ),
+        base_seed=args.seed,
+    )
+    try:
+        sweep = run_sweep(spec, workers=args.workers)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for failure in sweep.failures():
+        print(f"error: point {failure.key!r} failed: "
+              f"{failure.error.type}: {failure.error.message}", file=sys.stderr)
+    if not sweep.ok:
+        return 1
+    payload = []
+    for pr in sweep.results:
+        summary = pr.value
         if args.json:
             payload.append(summary.as_dict())
             continue
         print(ascii_table(
             ["quantity", "value"], summary.rows(),
-            title=f"\n{app} under {args.scenario} (seed {args.seed})",
+            title=f"\n{pr.key} under {args.scenario} (seed {args.seed})",
         ))
         if summary.trace:
             print("fault trace:")
@@ -268,6 +302,7 @@ def _cmd_overload_sweep(args: argparse.Namespace) -> int:
                 duration_ns=duration_ns,
                 record_count=record_count,
                 seed=args.seed,
+                workers=args.workers,
             )
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -411,11 +446,104 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1 if not check["within_tolerance"] else 0
 
 
+def _sweep_progress(done: int, total: int, result) -> None:
+    status = "ok" if result.ok else f"FAIL ({result.error.type})"
+    print(f"[{done}/{total}] {result.key}: {status} "
+          f"({result.elapsed_s:.2f}s)", file=sys.stderr, flush=True)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from .errors import ConfigurationError
+    from .parallel import merge_metrics_documents, run_sweep
+
+    try:
+        if args.target == "fig5":
+            from .analysis.figures import fig5_sweep_spec
+
+            scale = (16_384, 20_000) if args.quick else (65_536, 100_000)
+            spec = fig5_sweep_spec(
+                record_count=scale[0], total_ops=scale[1], seed=args.seed,
+                observed=True,
+            )
+        else:  # overload
+            from .overload.runner import offered_load_sweep_spec
+
+            spec = offered_load_sweep_spec(
+                controlled=args.mode == "controlled",
+                duration_ns=20e6 if args.quick else 40e6,
+                record_count=4096 if args.quick else 16_384,
+                seed=args.seed,
+                observed=True,
+            )
+        progress = None if args.no_progress else _sweep_progress
+        sweep = run_sweep(spec, workers=args.workers, progress=progress)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for failure in sweep.failures():
+        print(f"error: point {failure.key!r} failed: "
+              f"{failure.error.type}: {failure.error.message}", file=sys.stderr)
+    if not sweep.ok:
+        return 1
+    print(f"[sweep {spec.name}] {len(sweep.results)} points, "
+          f"{sweep.workers} worker(s), {sweep.elapsed_s:.1f}s",
+          file=sys.stderr, flush=True)
+    merged = merge_metrics_documents(
+        [(pr.key, pr.value["metrics"]) for pr in sweep.results],
+        generated_by=f"repro sweep {args.target}",
+    )
+    if args.json:
+        print(json.dumps(merged, indent=2))
+        return 0
+    if args.target == "fig5":
+        rows = [
+            (pr.key, f"{pr.value['throughput_ops_per_s'] / 1e3:.0f}")
+            for pr in sweep.results
+        ]
+        headers = ["workload/config", "kops/s"]
+        title = "Sweep fig5: KeyDB YCSB throughput"
+    else:
+        rows = [
+            (
+                pr.key,
+                f"{pr.value['summary'].goodput_ops_per_s / 1e3:.0f}",
+                f"{pr.value['summary'].shed_rate * 100:.1f}%",
+                f"{pr.value['summary'].deadline_miss_rate * 100:.1f}%",
+            )
+            for pr in sweep.results
+        ]
+        headers = ["point", "goodput k/s", "shed", "miss"]
+        title = f"Sweep overload ({args.mode})"
+    print(ascii_table(headers, rows, title=title))
+    print(f"\n{len(merged['metrics'])} merged samples across "
+          f"{len(sweep.results)} points (use --json for the "
+          f"repro.metrics/v1 document)")
+    return 0
+
+
 def _nonnegative_seed(text: str) -> int:
     value = int(text, 0)  # accepts decimal and 0x-hex
     if value < 0:
         raise argparse.ArgumentTypeError("seed must be non-negative")
     return value
+
+
+def _positive_workers(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return value
+
+
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_workers, default=None, metavar="N",
+        help="worker processes for independent sweep points "
+             "(default: $REPRO_WORKERS, else 1; parallel results are "
+             "bit-identical to serial)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -438,6 +566,8 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=doc)
         p.add_argument("--quick", action="store_true", help="small, fast run")
+        if name != "tables":
+            _add_workers(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser("cost", help="Abstract Cost Model (§6)")
@@ -467,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--quick", action="store_true", help="small, fast run")
     fp.add_argument("--json", action="store_true",
                     help="emit machine-readable JSON instead of tables")
+    _add_workers(fp)
     fp.set_defaults(func=_cmd_faults_run)
 
     p = sub.add_parser("overload", help="admission control & goodput (overload layer)")
@@ -484,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     op.add_argument("--quick", action="store_true", help="small, fast run")
     op.add_argument("--json", action="store_true",
                     help="emit machine-readable JSON instead of tables")
+    _add_workers(op)
     op.set_defaults(func=_cmd_overload_sweep)
     op = osub.add_parser("faults", help="SLO-aware shedding vs uncontrolled under a fault")
     op.add_argument(
@@ -517,6 +649,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="ops to include in --json output (default: 16)")
         p.set_defaults(func=func)
 
+    p = sub.add_parser(
+        "sweep", help="parallel sweep with a merged repro.metrics/v1 export"
+    )
+    p.add_argument(
+        "target", choices=("fig5", "overload"),
+        help="which stock sweep to run",
+    )
+    p.add_argument(
+        "--mode", choices=("controlled", "uncontrolled"), default="controlled",
+        help="admission control on or off (overload target only)",
+    )
+    p.add_argument("--seed", type=_nonnegative_seed, default=0xC0FFEE)
+    p.add_argument("--quick", action="store_true", help="small, fast run")
+    p.add_argument("--json", action="store_true",
+                   help="print the merged repro.metrics/v1 document")
+    p.add_argument("--no-progress", action="store_true",
+                   help="suppress per-point progress lines on stderr")
+    _add_workers(p)
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("advise", help="configuration advisor (§3.4/§5.3)")
     p.add_argument("--demand-gbps", type=float, default=50.0)
     p.add_argument("--write-fraction", type=float, default=0.0)
@@ -530,7 +682,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        # Bad user input (flag values, $REPRO_WORKERS, unknown names)
+        # surfaces as a one-line error, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -22,7 +22,7 @@ calibrate to the paper: each measured mix is a control point.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence, Tuple
 
 from ..errors import ConfigurationError
@@ -57,6 +57,12 @@ class PeakBandwidthCurve:
     """
 
     points: Tuple[Tuple[float, float], ...]
+    #: Interpolation knots (the write fractions of ``points``), computed
+    #: once at construction: ``__call__`` sits under every loaded-latency
+    #: evaluation, and rebuilding this list per lookup dominated its cost.
+    _fracs: Tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if len(self.points) < 2:
@@ -69,6 +75,8 @@ class PeakBandwidthCurve:
         for _, bw in self.points:
             if bw <= 0:
                 raise ConfigurationError("peak bandwidth must be positive")
+        # Frozen dataclass: bypass the immutability guard for the cache.
+        object.__setattr__(self, "_fracs", tuple(fracs))
 
     @classmethod
     def from_points(
@@ -88,8 +96,7 @@ class PeakBandwidthCurve:
             raise ConfigurationError(
                 f"write_fraction must be in [0, 1], got {write_fraction}"
             )
-        fracs = [p[0] for p in self.points]
-        i = bisect_right(fracs, write_fraction)
+        i = bisect_right(self._fracs, write_fraction)
         if i == 0:
             return self.points[0][1]
         if i == len(self.points):

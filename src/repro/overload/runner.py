@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..parallel.jobs import SweepSpec
 
 from ..errors import ConfigurationError
 from ..faults.injector import FaultInjector
@@ -38,6 +41,7 @@ __all__ = [
     "baseline_policy",
     "run_offered_load",
     "sweep_offered_load",
+    "offered_load_sweep_spec",
     "run_fault_comparison",
 ]
 
@@ -292,8 +296,50 @@ def sweep_offered_load(
     seed: int = DEFAULT_SEED,
     threads: int = 7,
     discipline: QueueDiscipline = QueueDiscipline.FIFO,
+    workers: Optional[int] = None,
 ) -> List[OverloadRunSummary]:
-    """Offered load vs goodput: sweep factors of the calibrated capacity."""
+    """Offered load vs goodput: sweep factors of the calibrated capacity.
+
+    Capacity is calibrated once in the parent; the per-factor runs are
+    independent and fan out across ``workers`` processes (the policy is
+    pure declarative config, so it pickles into spawned workers).
+    """
+    spec = offered_load_sweep_spec(
+        factors=factors,
+        controlled=controlled,
+        duration_ns=duration_ns,
+        config=config,
+        record_count=record_count,
+        seed=seed,
+        threads=threads,
+        discipline=discipline,
+    )
+    from ..parallel import run_sweep
+
+    sweep = run_sweep(spec, workers=workers).raise_failures()
+    return list(sweep.values())
+
+
+def offered_load_sweep_spec(
+    factors: Optional[List[float]] = None,
+    controlled: bool = True,
+    duration_ns: float = DEFAULT_DURATION_NS,
+    config: str = DEFAULT_CONFIG,
+    record_count: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    threads: int = 7,
+    discipline: QueueDiscipline = QueueDiscipline.FIFO,
+    observed: bool = False,
+) -> "SweepSpec":
+    """The goodput sweep as a :class:`~repro.parallel.jobs.SweepSpec`.
+
+    Runs the (serial) capacity calibration up front so every point
+    carries a fully-resolved rate and policy; ``observed=True`` selects
+    the task variant that also snapshots per-point metrics for
+    ``repro sweep overload``.
+    """
+    from ..parallel import SweepPoint, SweepSpec, tasks
+
     if factors is None:
         factors = [0.5, 0.75, 1.0, 1.25, 1.5]
     capacity = calibrate_capacity_ops_per_s(config, record_count, seed, threads)
@@ -302,23 +348,29 @@ def sweep_offered_load(
         policy = control_policy(capacity, budget, threads, discipline)
     else:
         policy = baseline_policy(budget)
-    summaries = []
-    for factor in factors:
-        summaries.append(
-            run_offered_load(
-                factor * capacity,
-                policy,
-                duration_ns=duration_ns,
-                config=config,
-                record_count=record_count,
+    mode = "controlled" if controlled else "uncontrolled"
+    return SweepSpec(
+        name="overload",
+        task=tasks.overload_point_observed if observed else tasks.overload_point,
+        points=tuple(
+            SweepPoint(
+                key=f"{mode}@{factor:.2f}x",
+                params={
+                    "rate_ops_per_s": factor * capacity,
+                    "policy": policy,
+                    "duration_ns": duration_ns,
+                    "config": config,
+                    "record_count": record_count,
+                    "threads": threads,
+                    "label": f"{mode} @ {factor:.2f}x",
+                    "load_factor": factor,
+                },
                 seed=seed,
-                threads=threads,
-                label=("controlled" if controlled else "uncontrolled")
-                + f" @ {factor:.2f}x",
-                load_factor=factor,
             )
-        )
-    return summaries
+            for factor in factors
+        ),
+        base_seed=seed,
+    )
 
 
 def run_fault_comparison(

@@ -1,0 +1,57 @@
+"""Deterministic parallel experiment runner.
+
+Every sweep in the reproduction — figure cells, offered-load factors,
+fault-catalog cases — is embarrassingly parallel: each point is an
+independent deterministic simulation keyed by (params, seed).  This
+package fans those points out across worker processes while keeping the
+results **bit-identical** to a serial run:
+
+* :mod:`repro.parallel.jobs` — the :class:`SweepSpec`/:class:`SweepPoint`
+  /:class:`PointResult` job model with per-point derived seeds;
+* :mod:`repro.parallel.runner` — :func:`run_sweep`: spawn-safe
+  ``multiprocessing`` fan-out with failure isolation, ``workers=1``
+  falling back to in-process execution with zero behavior change,
+  worker count from ``--workers`` or ``$REPRO_WORKERS``;
+* :mod:`repro.parallel.merge` — merging per-point ``repro.metrics/v1``
+  snapshots into the existing exporters, in spec order;
+* :mod:`repro.parallel.tasks` — the stock spawn-importable tasks behind
+  the figure benchmarks, ``repro overload sweep``, the fault catalog and
+  ``repro sweep``.
+
+See ``docs/architecture.md`` ("Parallel experiment runner") for the
+determinism contract.
+"""
+
+from . import tasks
+from .jobs import (
+    PointError,
+    PointResult,
+    SweepExecutionError,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    derive_seed,
+)
+from .merge import (
+    merge_metrics_documents,
+    merged_metrics_json,
+    register_point_samples,
+)
+from .runner import WORKERS_ENV, resolve_workers, run_sweep
+
+__all__ = [
+    "derive_seed",
+    "SweepPoint",
+    "SweepSpec",
+    "PointError",
+    "PointResult",
+    "SweepResult",
+    "SweepExecutionError",
+    "merge_metrics_documents",
+    "merged_metrics_json",
+    "register_point_samples",
+    "WORKERS_ENV",
+    "resolve_workers",
+    "run_sweep",
+    "tasks",
+]

@@ -1,0 +1,185 @@
+"""Deterministic fan-out of sweep points across worker processes.
+
+:func:`run_sweep` executes a :class:`~repro.parallel.jobs.SweepSpec`
+either in-process (``workers=1``, byte-for-byte the historical serial
+behavior) or across a spawn-context ``multiprocessing.Pool``.  The
+determinism contract:
+
+* every point's seed and params are fixed in the spec before execution,
+  so a point's value never depends on which worker ran it or when;
+* results are re-ordered into spec order regardless of completion order;
+* host wall-clock never enters point values (it is carried separately as
+  metadata), so merged exports are bit-identical across worker counts.
+
+Failure isolation: a point that raises records a structured
+:class:`~repro.parallel.jobs.PointError` — type, message, traceback —
+and the sweep continues.  A worker returning an unpicklable value is
+converted into a failed point rather than wedging the pool.
+
+Worker count resolution (first match wins): the explicit ``workers``
+argument, the ``REPRO_WORKERS`` environment variable, then 1.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+import traceback
+from typing import Any, Callable, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .jobs import PointError, PointResult, SweepResult, SweepSpec
+
+__all__ = ["WORKERS_ENV", "resolve_workers", "run_sweep"]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: ``progress(done, total, result)`` callback signature.
+ProgressFn = Callable[[int, int, PointResult], None]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: argument, then $REPRO_WORKERS, then 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+            )
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _execute_point(
+    task: Callable[[Mapping[str, Any], int], Any],
+    key: str,
+    index: int,
+    params: Mapping[str, Any],
+    seed: int,
+) -> PointResult:
+    """Run one point, converting any crash into a structured error."""
+    started = time.perf_counter()
+    try:
+        value = task(dict(params), seed)
+    except Exception as exc:
+        return PointResult(
+            key=key,
+            index=index,
+            seed=seed,
+            params=dict(params),
+            ok=False,
+            error=PointError(
+                type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+            ),
+            elapsed_s=time.perf_counter() - started,
+        )
+    return PointResult(
+        key=key,
+        index=index,
+        seed=seed,
+        params=dict(params),
+        ok=True,
+        value=value,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _worker_run(
+    payload: Tuple[Callable[[Mapping[str, Any], int], Any], str, int,
+                   Mapping[str, Any], int],
+) -> PointResult:
+    """Pool entry point: execute one point inside a spawned worker.
+
+    The result crosses the process boundary by pickle; an unpicklable
+    value would otherwise raise in the *parent's* result iterator and
+    abort the whole sweep, so picklability is checked here and demoted
+    to a per-point failure.
+    """
+    task, key, index, params, seed = payload
+    result = _execute_point(task, key, index, params, seed)
+    if result.ok:
+        try:
+            pickle.dumps(result.value)
+        except Exception as exc:
+            result = PointResult(
+                key=key,
+                index=index,
+                seed=seed,
+                params=dict(params),
+                ok=False,
+                error=PointError(
+                    type="UnpicklableResult",
+                    message=f"task returned an unpicklable value: {exc}",
+                    traceback="",
+                ),
+                elapsed_s=result.elapsed_s,
+            )
+    return result
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Execute every point of ``spec``; results come back in spec order.
+
+    ``workers=1`` (the default when ``REPRO_WORKERS`` is unset) runs the
+    points in-process with zero behavioral difference from a plain loop.
+    ``workers>1`` fans the points out over a spawn-context pool sized
+    ``min(workers, len(points))``.  ``progress`` is invoked in the
+    parent, in completion order, after each point lands.
+    """
+    n_workers = resolve_workers(workers)
+    points = spec.points
+    total = len(points)
+    started = time.perf_counter()
+    slots: List[Optional[PointResult]] = [None] * total
+
+    if n_workers == 1 or total == 1:
+        for index, point in enumerate(points):
+            result = _execute_point(
+                spec.task, point.key, index, point.params, point.seed
+            )
+            slots[index] = result
+            if progress is not None:
+                progress(index + 1, total, result)
+        return SweepResult(
+            name=spec.name,
+            base_seed=spec.base_seed,
+            workers=1,
+            results=[pr for pr in slots if pr is not None],
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    import multiprocessing
+
+    payloads = [
+        (spec.task, point.key, index, dict(point.params), point.seed)
+        for index, point in enumerate(points)
+    ]
+    ctx = multiprocessing.get_context("spawn")
+    pool_size = min(n_workers, total)
+    done = 0
+    with ctx.Pool(processes=pool_size) as pool:
+        for result in pool.imap_unordered(_worker_run, payloads):
+            slots[result.index] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+    return SweepResult(
+        name=spec.name,
+        base_seed=spec.base_seed,
+        workers=pool_size,
+        results=[pr for pr in slots if pr is not None],
+        elapsed_s=time.perf_counter() - started,
+    )

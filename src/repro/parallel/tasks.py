@@ -1,0 +1,255 @@
+"""Spawn-importable task functions for the stock sweeps.
+
+Every task here is a module-level function ``task(params, seed)`` so a
+spawned worker can import it by reference.  Tasks import the application
+stacks lazily inside their bodies — the analysis/apps layers import
+:mod:`repro.parallel` for the runner, and eager imports here would close
+that cycle.
+
+Two shapes per family where needed:
+
+* the *plain* task returns the same object the historical serial loop
+  produced (``KeyDbResult``, ``OverloadRunSummary``, ...) — this is what
+  the figure/overload/fault runners fan out over;
+* the ``*_observed`` variant additionally snapshots a per-point
+  :class:`~repro.obs.registry.MetricsRegistry` and returns its
+  ``repro.metrics/v1`` document, which ``repro sweep`` merges into one
+  export (see :mod:`repro.parallel.merge`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+__all__ = [
+    "demo_point",
+    "fig3_panel",
+    "fig4_pattern_mix",
+    "fig5_cell",
+    "fig5_cell_observed",
+    "fig7_config",
+    "fig8_cell",
+    "fig10_config",
+    "overload_point",
+    "overload_point_observed",
+    "fault_case",
+    "fault_case_observed",
+]
+
+
+def demo_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A tiny deterministic task for smoke tests and examples.
+
+    Draws a few values from the seeded RNG stream and returns summary
+    statistics.  ``params["poison"]`` truthy makes the point crash —
+    used to exercise the runner's failure isolation.
+    """
+    from ..sim.rng import RngFactory
+
+    if params.get("poison"):
+        raise RuntimeError(f"poisoned point (seed {seed})")
+    rng = RngFactory(seed).stream("parallel-demo")
+    draws = rng.random(int(params.get("draws", 64)))
+    return {
+        "seed": seed,
+        "n": int(draws.size),
+        "mean": float(draws.mean()),
+        "min": float(draws.min()),
+        "max": float(draws.max()),
+    }
+
+
+# -- Fig. 3 / Fig. 4 (loaded latency) ---------------------------------------
+
+
+def fig3_panel(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One Fig. 3 panel: ``{mix: MlcCurve}`` for one distance."""
+    from ..analysis.figures import _panel_path
+    from ..hw.presets import paper_cxl_platform
+    from ..workloads.mlc import MlcProbe
+
+    platform = paper_cxl_platform(snc_enabled=True)
+    probe = MlcProbe(platform, threads=int(params.get("threads", 16)))
+    path = _panel_path(platform, params["panel"])
+    return {
+        f"{r}:{w}": probe.loaded_latency_curve(
+            path, r, w, load_points=list(params["fractions"])
+        )
+        for r, w in params["mixes"]
+    }
+
+
+def fig4_pattern_mix(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One Fig. 4 cell: ``{panel: MlcCurve}`` for one (pattern, mix)."""
+    from ..analysis.figures import FIG3_PANELS, _panel_path
+    from ..hw.presets import paper_cxl_platform
+    from ..workloads.mlc import MlcProbe
+
+    platform = paper_cxl_platform(snc_enabled=True)
+    probe = MlcProbe(platform, threads=16, pattern=params["pattern"])
+    r, w = params["mix"]
+    return {
+        panel: probe.loaded_latency_curve(
+            _panel_path(platform, panel), r, w,
+            load_points=list(params["fractions"]),
+        )
+        for panel in FIG3_PANELS
+    }
+
+
+# -- Fig. 5 / Fig. 8 (KeyDB YCSB) -------------------------------------------
+
+
+def fig5_cell(params: Mapping[str, Any], seed: int):
+    """One Fig. 5 cell: a (workload, configuration) YCSB run."""
+    from ..apps.kvstore import run_keydb_config
+
+    return run_keydb_config(
+        params["config"],
+        workload=params["workload"],
+        record_count=int(params["record_count"]),
+        total_ops=int(params["total_ops"]),
+        seed=seed,
+    )
+
+
+def fig5_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 5 cell plus its ``repro.metrics/v1`` snapshot."""
+    from ..obs.registry import MetricsRegistry, histogram_samples
+
+    result = fig5_cell(params, seed)
+    config, workload = params["config"], params["workload"]
+    registry = MetricsRegistry()
+    labels = {"config": config, "workload": workload}
+    result.counters.register_into(registry, "keydb_ops", labels=dict(labels))
+    run_info = registry.gauge(
+        "keydb_run", "headline run numbers", ("config", "workload", "quantity")
+    )
+    run_info.set(float(result.ops), quantity="ops", **labels)
+    run_info.set(result.elapsed_ns, quantity="elapsed_ns", **labels)
+    run_info.set(result.throughput_ops_per_s,
+                 quantity="throughput_ops_per_s", **labels)
+    registry.register_collector(
+        lambda: histogram_samples(
+            "keydb_read_latency_ns", {**labels, "op": "read"},
+            result.read_latency,
+        )
+    )
+    registry.register_collector(
+        lambda: histogram_samples(
+            "keydb_write_latency_ns", {**labels, "op": "write"},
+            result.write_latency,
+        )
+    )
+    return {
+        "config": config,
+        "workload": workload,
+        "throughput_ops_per_s": result.throughput_ops_per_s,
+        "metrics": registry.as_dict(),
+    }
+
+
+def fig8_cell(params: Mapping[str, Any], seed: int):
+    """One Fig. 8 half: YCSB-C bound entirely to MMEM or to CXL."""
+    from ..apps.kvstore import run_keydb_cxl_only
+
+    return run_keydb_cxl_only(
+        bool(params["on_cxl"]),
+        int(params["record_count"]),
+        int(params["total_ops"]),
+        seed,
+    )
+
+
+# -- Fig. 7 (Spark) ----------------------------------------------------------
+
+
+def fig7_config(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """One Fig. 7 column: all TPC-H queries under one configuration."""
+    from ..apps.spark.experiment import run_spark_config
+
+    return run_spark_config(params["config"])
+
+
+# -- Fig. 10 (LLM serving) ---------------------------------------------------
+
+
+def fig10_config(params: Mapping[str, Any], seed: int):
+    """One Fig. 10(a) series: the backend-count sweep for one config."""
+    from ..apps.llm import LlmServingExperiment
+
+    return LlmServingExperiment(params["config"]).sweep(
+        tuple(params["backend_counts"])
+    )
+
+
+# -- overload sweeps ---------------------------------------------------------
+
+
+def overload_point(params: Mapping[str, Any], seed: int):
+    """One offered-load factor of the goodput sweep."""
+    from ..overload.runner import run_offered_load
+
+    return run_offered_load(
+        params["rate_ops_per_s"],
+        params["policy"],
+        duration_ns=params["duration_ns"],
+        config=params["config"],
+        record_count=int(params["record_count"]),
+        seed=seed,
+        threads=int(params["threads"]),
+        label=params["label"],
+        load_factor=params["load_factor"],
+    )
+
+
+def overload_point_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """An offered-load point plus its ``repro.metrics/v1`` snapshot."""
+    from ..obs.registry import MetricsRegistry
+    from ..overload.runner import run_offered_load
+
+    registry = MetricsRegistry()
+    summary = run_offered_load(
+        params["rate_ops_per_s"],
+        params["policy"],
+        duration_ns=params["duration_ns"],
+        config=params["config"],
+        record_count=int(params["record_count"]),
+        seed=seed,
+        threads=int(params["threads"]),
+        label=params["label"],
+        load_factor=params["load_factor"],
+        registry=registry,
+    )
+    return {"summary": summary, "metrics": registry.as_dict()}
+
+
+# -- fault catalog -----------------------------------------------------------
+
+
+def fault_case(params: Mapping[str, Any], seed: int):
+    """One (app, scenario) cell of the fault catalog."""
+    from ..faults.runner import run_faulted_app
+
+    return run_faulted_app(
+        params["app"],
+        params["scenario"],
+        seed=seed,
+        quick=bool(params.get("quick", False)),
+    )
+
+
+def fault_case_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A fault-catalog cell plus its ``repro.metrics/v1`` snapshot."""
+    from ..faults.runner import run_faulted_app
+    from ..obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    summary = run_faulted_app(
+        params["app"],
+        params["scenario"],
+        seed=seed,
+        quick=bool(params.get("quick", False)),
+        registry=registry,
+    )
+    return {"summary": summary, "metrics": registry.as_dict()}

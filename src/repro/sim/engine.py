@@ -32,7 +32,14 @@ class Event:
     An event starts *pending*; :meth:`succeed` (or :meth:`fail`) makes it
     *triggered*, scheduling its callbacks to run at the current simulation
     time.  Waiting processes are resumed with the event's value.
+
+    Events are the engine's unit of allocation — a loaded sweep creates
+    tens of millions of them — so the class (and every subclass) uses
+    ``__slots__`` to keep instances small and attribute access fast.
     """
+
+    __slots__ = ("sim", "value", "failed", "_triggered", "_dispatched",
+                 "callbacks", "_owner")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -41,6 +48,9 @@ class Event:
         self._triggered = False
         self._dispatched = False
         self.callbacks: List[Callable[["Event"], None]] = []
+        #: Owning process label for engine profiling (set lazily by
+        #: :class:`Process`; ``None`` for unowned events).
+        self._owner: Optional[str] = None
 
     @property
     def triggered(self) -> bool:
@@ -100,6 +110,8 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a delay."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
@@ -118,6 +130,8 @@ class Process(Event):
     is an event that succeeds with the generator's return value.
     """
 
+    __slots__ = ("_gen", "_send", "_throw", "label")
+
     def __init__(
         self,
         sim: "Simulator",
@@ -126,6 +140,11 @@ class Process(Event):
     ) -> None:
         super().__init__(sim)
         self._gen = gen
+        # Bind the generator's send/throw once: _resume runs once per
+        # dispatched event, and creating a fresh bound-method object on
+        # every resume is measurable allocator churn on long sweeps.
+        self._send = gen.send
+        self._throw = gen.throw
         #: Process-type label for engine profiling (defaults to the
         #: generator function's name).
         self.label = label or getattr(gen, "__name__", "process")
@@ -139,9 +158,9 @@ class Process(Event):
     def _resume(self, trigger: Event) -> None:
         try:
             if trigger.failed:
-                target = self._gen.throw(trigger.value)
+                target = self._throw(trigger.value)
             else:
-                target = self._gen.send(trigger.value)
+                target = self._send(trigger.value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -164,11 +183,11 @@ class Process(Event):
             raise SimulationError(
                 f"process yielded {target!r}; processes must yield Event objects"
             )
-        if self.sim.profile is not None and getattr(target, "_owner", None) is None:
+        if self.sim.profile is not None and target._owner is None:
             # Tag the awaited event so the profiler can attribute the
             # sim-time spent waiting on it to this process type.
             target._owner = self.label
-        if target.dispatched:
+        if target._dispatched:
             # Already-dispatched event: its callback list is dead, so
             # resume via an immediate timeout carrying the same value —
             # preserving failure, so a failed event still throws.
@@ -179,8 +198,48 @@ class Process(Event):
             target.callbacks.append(self._resume)
 
 
-class AllOf(Event):
+class _Combinator(Event):
+    """Shared child-callback bookkeeping for :class:`AllOf`/:class:`AnyOf`.
+
+    A combinator registers a callback on every pending child.  Once the
+    combinator resolves, those callbacks are dead weight: a child that
+    never fires (a fault trigger, an idle deadline) would otherwise keep
+    one stale callback per combinator it ever raced in, growing its
+    callback list without bound.  :meth:`_resolve` prunes the losing
+    children's registrations so callback lists stay bounded no matter how
+    many combinators share a long-lived event.
+    """
+
+    __slots__ = ("_watched",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        super().__init__(sim)
+        #: (child, callback) registrations to undo at resolution.
+        self._watched: List[Tuple[Event, Callable[[Event], None]]] = []
+
+    def _watch(self, child: Event, callback: Callable[[Event], None]) -> None:
+        child.callbacks.append(callback)
+        self._watched.append((child, callback))
+
+    def _resolve(self, failed: bool, value: Any) -> None:
+        """Trigger the combinator and detach from still-pending children."""
+        watched, self._watched = self._watched, []
+        for child, callback in watched:
+            if not child._dispatched:
+                try:
+                    child.callbacks.remove(callback)
+                except ValueError:  # pragma: no cover - already detached
+                    pass
+        if failed:
+            self.fail(value)
+        else:
+            self.succeed(value)
+
+
+class AllOf(_Combinator):
     """An event that fires when all of its child events have fired."""
+
+    __slots__ = ("_pending", "_values")
 
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:
         super().__init__(sim)
@@ -197,31 +256,33 @@ class AllOf(Event):
                 self._values[i] = ev.value
             else:
                 self._pending += 1
-                ev.callbacks.append(self._make_cb(i))
+                self._watch(ev, self._make_cb(i))
         if first_failure is not None:
             # A failed-but-dispatched child fails the combinator, exactly
             # as a failing pending child would via its callback.
-            self.fail(first_failure)
+            self._resolve(True, first_failure)
         elif self._pending == 0:
             self.succeed(self._values)
 
     def _make_cb(self, index: int) -> Callable[[Event], None]:
         def _cb(ev: Event) -> None:
-            if self.triggered:
+            if self._triggered:
                 return
             if ev.failed:
-                self.fail(ev.value)
+                self._resolve(True, ev.value)
                 return
             self._values[index] = ev.value
             self._pending -= 1
             if self._pending == 0:
-                self.succeed(self._values)
+                self._resolve(False, self._values)
 
         return _cb
 
 
-class AnyOf(Event):
+class AnyOf(_Combinator):
     """An event that fires when the first of its child events fires."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: List[Event]) -> None:
         super().__init__(sim)
@@ -232,20 +293,14 @@ class AnyOf(Event):
                 # An already-dispatched child's callback list is dead
                 # (appending would never fire); it IS the first event, so
                 # resolve immediately — mirroring Process._resume/AllOf.
-                if ev.failed:
-                    self.fail(ev.value)
-                else:
-                    self.succeed(ev.value)
+                self._resolve(ev.failed, ev.value)
                 return
-            ev.callbacks.append(self._on_child)
+            self._watch(ev, self._on_child)
 
     def _on_child(self, ev: Event) -> None:
-        if self.triggered:
+        if self._triggered:
             return
-        if ev.failed:
-            self.fail(ev.value)
-        else:
-            self.succeed(ev.value)
+        self._resolve(ev.failed, ev.value)
 
 
 class Simulator:

@@ -27,11 +27,29 @@ class Resource:
         self.capacity = capacity
         self.in_use = 0
         self._waiters: Deque[Event] = deque()
+        # Compaction threshold for dead (already-triggered) waiters; see
+        # _compact().  Doubling keeps the scan amortized O(1) per request.
+        self._compact_at = 16
 
     @property
     def available(self) -> int:
         """Number of free slots right now."""
         return self.capacity - self.in_use
+
+    def _compact(self) -> None:
+        """Drop dead waiters so the queue stays bounded by live demand.
+
+        A queued waiter whose grant event was failed externally (deadline
+        shedder, fault injector) is dead: it will never hold the slot.
+        ``release`` skips dead waiters at the head, but a long-lived
+        queue shedding from the middle would otherwise accumulate them —
+        and each dead event pins its waiting process's ``_resume``
+        callback — so the queue is rebuilt without them once it outgrows
+        a doubling threshold.
+        """
+        if len(self._waiters) >= self._compact_at:
+            self._waiters = deque(ev for ev in self._waiters if not ev.triggered)
+            self._compact_at = max(16, 2 * len(self._waiters))
 
     def request(self) -> Event:
         """Ask for one slot; the returned event fires when it is granted."""
@@ -40,6 +58,7 @@ class Resource:
             self.in_use += 1
             ev.succeed()
         else:
+            self._compact()
             self._waiters.append(ev)
         return ev
 
@@ -65,8 +84,8 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        """Number of requests currently waiting for a slot."""
-        return len(self._waiters)
+        """Number of *live* requests currently waiting for a slot."""
+        return sum(1 for ev in self._waiters if not ev.triggered)
 
 
 class TokenBucket:

@@ -16,7 +16,7 @@ The resulting per-resource utilizations drive the loaded-latency model in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Sequence, Tuple
 
 from ..errors import SimulationError
 
@@ -34,7 +34,10 @@ class TrafficDemand:
     resources:
         The capacity-bearing resources this stream traverses, e.g.
         ``("skt0/cxl0/pcie", "skt0/cxl0/dram")``.  A stream is limited by
-        its tightest resource.
+        its tightest resource.  The same resource may appear more than
+        once (a bounce path crossing one UPI link both ways); each
+        occurrence consumes the stream's achieved rate once, so a route
+        naming a link twice drains it at twice the allocated rate.
     rate:
         Requested bandwidth in bytes/s.  ``float('inf')`` means "as much
         as the resources allow".
@@ -100,9 +103,17 @@ def max_min_allocate(
     Water-filling: at each step all *active* demands grow at the same
     rate.  The step size is the smallest of (a) the headroom of any
     demand to its requested rate, and (b) each resource's remaining
-    capacity split evenly among the active demands crossing it.  Demands
-    that hit their request, or that cross a saturated resource, freeze.
-    The result is the unique max-min fair allocation.
+    capacity divided by the total number of active *crossings* of it.
+    Demands that hit their request, or that cross a saturated resource,
+    freeze.  The result is the unique max-min fair allocation.
+
+    Duplicate resources in a route are allocated per-occurrence: a
+    demand naming the same resource ``k`` times counts as ``k``
+    crossings when sizing the uniform increment, consumes ``k`` times
+    its allocated rate from that resource, and contributes ``k`` times
+    its write bytes to the resource's aggregate mix — the three
+    accountings stay consistent by construction (pinned by the
+    duplicate-route regression tests in ``tests/sim/test_traffic.py``).
     """
     for d in demands:
         for r in d.resources:
@@ -119,16 +130,21 @@ def max_min_allocate(
 
     while any(active):
         active_idx = [i for i, a in enumerate(active) if a]
-        # Demands crossing each resource.
-        crossing: Dict[Hashable, List[int]] = {}
+        # Total active crossings per resource.  Occurrences are counted,
+        # not deduplicated: a duplicate-resource route drains the
+        # resource once per crossing, so the crossing count is exactly
+        # the resource's drain rate per unit of uniform demand growth —
+        # which keeps the increment below, the usage update and the
+        # freezing logic mutually consistent for such routes.
+        crossings: Dict[Hashable, int] = {}
         for i in active_idx:
             for r in demands[i].resources:
-                crossing.setdefault(r, []).append(i)
+                crossings[r] = crossings.get(r, 0) + 1
         # Largest uniform increment permitted by any resource...
         delta = float("inf")
-        for r, idxs in crossing.items():
+        for r, weight in crossings.items():
             headroom = capacities[r] - used[r]
-            delta = min(delta, headroom / len(idxs))
+            delta = min(delta, headroom / weight)
         # ...and by any demand's own request.
         for i in active_idx:
             delta = min(delta, demands[i].rate - alloc[i])
@@ -146,7 +162,7 @@ def max_min_allocate(
             if alloc[i] >= demands[i].rate - epsilon:
                 active[i] = False
         saturated = {
-            r for r in crossing if used[r] >= capacities[r] - epsilon * max(1.0, capacities[r])
+            r for r in crossings if used[r] >= capacities[r] - epsilon * max(1.0, capacities[r])
         }
         if saturated:
             for i in active_idx:

@@ -1,0 +1,69 @@
+"""Regression tests for PeakBandwidthCurve's precomputed knot list.
+
+The knots (``_fracs``) are computed once at construction because
+``__call__`` sits under every loaded-latency evaluation.  The cache
+must be *exact*: identical segment selection and identical arithmetic
+to recomputing the knot list per lookup.
+"""
+
+from bisect import bisect_right
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.bandwidth import PeakBandwidthCurve
+
+CURVE = PeakBandwidthCurve.from_points(
+    [(0.0, 67e9), (1.0 / 3.0, 62e9), (0.5, 58.5e9), (1.0, 54.6e9)]
+)
+
+
+def _uncached(curve, write_fraction):
+    """Reference lookup rebuilding the knot list (the pre-cache code)."""
+    fracs = [p[0] for p in curve.points]
+    i = bisect_right(fracs, write_fraction)
+    if i == 0:
+        return curve.points[0][1]
+    if i == len(curve.points):
+        return curve.points[-1][1]
+    (f0, b0), (f1, b1) = curve.points[i - 1], curve.points[i]
+    t = (write_fraction - f0) / (f1 - f0)
+    return b0 + t * (b1 - b0)
+
+
+class TestKnotCache:
+    def test_cache_matches_points(self):
+        assert CURVE._fracs == tuple(p[0] for p in CURVE.points)
+
+    def test_exact_at_every_knot(self):
+        for frac, bw in CURVE.points:
+            assert CURVE(frac) == bw
+
+    def test_exact_against_uncached_lookup(self):
+        # Dense sweep including irrational-ish fractions: the cached
+        # lookup must be bit-for-bit the uncached one.
+        for i in range(501):
+            wf = i / 500.0
+            assert CURVE(wf) == _uncached(CURVE, wf), wf
+
+    def test_scaled_copy_rebuilds_cache(self):
+        doubled = CURVE.scaled(2.0)
+        assert doubled._fracs == CURVE._fracs
+        assert doubled(0.25) == 2.0 * CURVE(0.25)
+
+    def test_flat_curve_cached(self):
+        flat = PeakBandwidthCurve.flat(10e9)
+        assert flat._fracs == (0.0, 1.0)
+        assert flat(0.0) == flat(0.7) == flat(1.0) == 10e9
+
+    def test_cache_excluded_from_equality(self):
+        # _fracs is derived state; equality stays defined by the points.
+        assert CURVE == PeakBandwidthCurve(CURVE.points)
+
+    def test_out_of_range_still_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CURVE(1.5)
+
+    def test_frozen_dataclass_stays_immutable(self):
+        with pytest.raises(AttributeError):
+            CURVE.points = ()

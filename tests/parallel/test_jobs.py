@@ -1,0 +1,105 @@
+"""Tests for the sweep job model (spec, seeds, results)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    PointError,
+    PointResult,
+    SweepExecutionError,
+    SweepPoint,
+    SweepSpec,
+    derive_seed,
+    tasks,
+)
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(7, "a/b") == derive_seed(7, "a/b")
+
+    def test_known_value_pinned(self):
+        # SHA-256 derivation must never drift: a new Python, platform or
+        # PYTHONHASHSEED must reproduce historical sweeps bit-for-bit.
+        assert derive_seed(0, "x") == 0xDBCDD5257900
+        assert derive_seed(0xC0FFEE, "A/mmem") == 0x908C7278C1AC
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {derive_seed(1, f"k{i}") for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_fits_in_48_bits(self):
+        for i in range(16):
+            assert 0 <= derive_seed(3, f"p{i}") < 2**48
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_seed(-1, "x")
+
+
+class TestSweepSpec:
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="s", task=tasks.demo_point, points=())
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                name="s",
+                task=tasks.demo_point,
+                points=(SweepPoint(key="a"), SweepPoint(key="a")),
+            )
+
+    def test_lambda_task_rejected(self):
+        # Spawned workers import the task by reference; a lambda would
+        # only fail later, inside the pool.
+        with pytest.raises(ConfigurationError):
+            SweepSpec(
+                name="s",
+                task=lambda params, seed: None,
+                points=(SweepPoint(key="a"),),
+            )
+
+    def test_local_function_rejected(self):
+        def local_task(params, seed):
+            return None
+
+        with pytest.raises(ConfigurationError):
+            SweepSpec(name="s", task=local_task, points=(SweepPoint(key="a"),))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepPoint(key="")
+
+    def test_from_grid_derives_per_key_seeds(self):
+        spec = SweepSpec.from_grid(
+            "s", tasks.demo_point, {"a": {}, "b": {}}, base_seed=5
+        )
+        assert [p.key for p in spec.points] == ["a", "b"]
+        assert spec.points[0].seed == derive_seed(5, "a")
+        assert spec.points[1].seed == derive_seed(5, "b")
+
+    def test_from_grid_shared_seed_pins_base(self):
+        spec = SweepSpec.from_grid(
+            "s", tasks.demo_point, {"a": {}, "b": {}}, base_seed=5,
+            shared_seed=True,
+        )
+        assert all(p.seed == 5 for p in spec.points)
+
+
+class TestPointResult:
+    def test_as_dict_excludes_wall_clock(self):
+        # elapsed_s is host timing; exports must be identical across
+        # worker counts and machine speeds.
+        pr = PointResult(key="a", index=0, seed=1, params={}, ok=True,
+                         value=42, elapsed_s=1.23)
+        assert "elapsed_s" not in pr.as_dict()
+        assert pr.as_dict()["ok"] is True
+
+    def test_sweep_execution_error_lists_failures(self):
+        pr = PointResult(
+            key="a", index=0, seed=1, params={}, ok=False,
+            error=PointError(type="RuntimeError", message="boom", traceback=""),
+        )
+        err = SweepExecutionError([pr])
+        assert "a" in str(err) and "RuntimeError" in str(err)

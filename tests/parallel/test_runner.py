@@ -1,0 +1,157 @@
+"""Tests for the sweep runner: determinism, fan-out, failure isolation."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel import (
+    WORKERS_ENV,
+    SweepExecutionError,
+    SweepPoint,
+    SweepSpec,
+    resolve_workers,
+    run_sweep,
+    tasks,
+)
+
+
+def _demo_spec(n=6, poison=()):
+    return SweepSpec(
+        name="demo",
+        task=tasks.demo_point,
+        points=tuple(
+            SweepPoint(
+                key=f"p{i}",
+                params={"draws": 32, "poison": i in poison},
+                seed=100 + i,
+            )
+            for i in range(n)
+        ),
+    )
+
+
+def _sleep_task_available():
+    return len(os.sched_getaffinity(0)) >= 4
+
+
+def sleep_point(params, seed):
+    """Module-level so spawn workers can import it (speedup test only)."""
+    time.sleep(params["seconds"])
+    return seed
+
+
+class TestResolveWorkers:
+    def test_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_used_when_no_argument(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers() == 4
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+
+class TestSerialRunner:
+    def test_results_in_spec_order(self):
+        sweep = run_sweep(_demo_spec(), workers=1)
+        assert [pr.key for pr in sweep.results] == [f"p{i}" for i in range(6)]
+        assert sweep.ok and sweep.workers == 1
+
+    def test_deterministic_across_runs(self):
+        spec = _demo_spec()
+        a = run_sweep(spec, workers=1)
+        b = run_sweep(spec, workers=1)
+        assert [pr.value for pr in a.results] == [pr.value for pr in b.results]
+
+    def test_values_depend_only_on_seed(self):
+        sweep = run_sweep(_demo_spec(), workers=1)
+        means = {pr.value["mean"] for pr in sweep.results}
+        assert len(means) == 6  # distinct seeds, distinct draws
+
+    def test_progress_called_per_point(self):
+        calls = []
+        run_sweep(
+            _demo_spec(n=3), workers=1,
+            progress=lambda done, total, pr: calls.append((done, total, pr.key)),
+        )
+        assert calls == [(1, 3, "p0"), (2, 3, "p1"), (3, 3, "p2")]
+
+    def test_crash_isolated_and_structured(self):
+        sweep = run_sweep(_demo_spec(n=4, poison={2}), workers=1)
+        assert not sweep.ok
+        assert [pr.ok for pr in sweep.results] == [True, True, False, True]
+        failure = sweep.failures()[0]
+        assert failure.error.type == "RuntimeError"
+        assert "poisoned" in failure.error.message
+        assert "demo_point" in failure.error.traceback
+        with pytest.raises(SweepExecutionError):
+            sweep.raise_failures()
+
+    def test_value_by_key(self):
+        sweep = run_sweep(_demo_spec(n=2), workers=1)
+        assert sweep.value("p1") == sweep.results[1].value
+        with pytest.raises(KeyError):
+            sweep.value("nope")
+
+
+class TestParallelRunner:
+    def test_parallel_matches_serial_exactly(self):
+        spec = _demo_spec()
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert parallel.workers == 2
+        assert [pr.key for pr in parallel.results] == [
+            pr.key for pr in serial.results
+        ]
+        assert [pr.value for pr in parallel.results] == [
+            pr.value for pr in serial.results
+        ]
+        assert [pr.seed for pr in parallel.results] == [
+            pr.seed for pr in serial.results
+        ]
+
+    def test_worker_crash_isolated(self):
+        sweep = run_sweep(_demo_spec(n=4, poison={1}), workers=2)
+        assert [pr.ok for pr in sweep.results] == [True, False, True, True]
+        failure = sweep.results[1]
+        assert failure.error.type == "RuntimeError"
+        assert "poisoned" in failure.error.message
+        # The healthy points match a serial run despite the crash.
+        serial = run_sweep(_demo_spec(n=4, poison={1}), workers=1)
+        for par, ser in zip(sweep.results, serial.results):
+            if par.ok:
+                assert par.value == ser.value
+
+    def test_pool_not_wider_than_points(self):
+        sweep = run_sweep(_demo_spec(n=2), workers=16)
+        assert sweep.workers == 2
+
+    @pytest.mark.skipif(
+        not _sleep_task_available(),
+        reason="wall-clock speedup needs >= 4 CPU cores",
+    )
+    def test_speedup_on_sleepy_points(self):
+        spec = SweepSpec(
+            name="sleepy",
+            task=sleep_point,
+            points=tuple(
+                SweepPoint(key=f"s{i}", params={"seconds": 0.5}) for i in range(8)
+            ),
+        )
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=4)
+        assert serial.elapsed_s / parallel.elapsed_s >= 2.0

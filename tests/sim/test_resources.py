@@ -216,3 +216,47 @@ class TestRngFactory:
         assert list(f.stream("x").integers(0, 1000, 10)) != list(
             g.stream("x").integers(0, 1000, 10)
         )
+
+
+class TestWaiterCompaction:
+    """Dead (externally failed) waiters must not accumulate in the queue."""
+
+    def test_queue_stays_bounded_despite_dead_waiters(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        assert res.request().triggered  # take the only slot
+        for _ in range(500):
+            res.request().fail(RuntimeError("shed while queued"))
+        # 500 dead waiters were enqueued; amortized compaction keeps the
+        # deque bounded by the (empty) live demand, not the churn.
+        assert len(res._waiters) <= 32
+        sim.run()
+
+    def test_live_waiters_survive_compaction_in_order(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        assert res.request().triggered
+        live = []
+        for i in range(60):
+            ev = res.request()
+            if i % 2:
+                ev.fail(RuntimeError("shed"))
+            else:
+                live.append(ev)
+        assert res.queue_length == len(live)
+        for expected in live:
+            res.release()
+            assert expected.triggered and not expected.failed
+        sim.run()
+
+    def test_compaction_threshold_doubles_with_live_queue(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        assert res.request().triggered
+        live = [res.request() for _ in range(40)]  # all live, none compact away
+        assert res.queue_length == 40
+        assert len(res._waiters) == 40
+        for ev in live:
+            res.release()
+            assert ev.triggered
+        sim.run()

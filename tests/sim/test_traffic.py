@@ -185,3 +185,70 @@ class TestMaxMinProperties:
             for j, rj in enumerate(rates):
                 if ri <= rj:
                     assert res.achieved[i] >= min(ri, res.achieved[j]) - 1e-6
+
+
+class TestDuplicateResources:
+    """Routes naming the same resource more than once (bounce paths).
+
+    The contract (documented on max_min_allocate): duplicates are
+    allocated per-occurrence — k crossings size the uniform increment,
+    drain the resource k times the achieved rate, and contribute k times
+    the write bytes — so the increment, usage and freezing accountings
+    can never disagree.
+    """
+
+    def test_double_crossing_halves_achievable_rate(self):
+        res = max_min_allocate(
+            [demand("a", ["r", "r"], float("inf"))], {"r": 10.0}
+        )
+        assert res.achieved["a"] == pytest.approx(5.0)
+        assert res.utilization["r"] == pytest.approx(1.0)
+
+    def test_double_crossing_competes_as_two_flows(self):
+        res = max_min_allocate(
+            [
+                demand("bounce", ["r", "r"], float("inf")),
+                demand("direct", ["r"], float("inf")),
+            ],
+            {"r": 12.0},
+        )
+        # Uniform growth with 3 total crossings: both freeze at 4.
+        assert res.achieved["bounce"] == pytest.approx(4.0)
+        assert res.achieved["direct"] == pytest.approx(4.0)
+        assert res.utilization["r"] == pytest.approx(1.0)
+
+    def test_satisfied_duplicate_demand_uses_capacity_twice(self):
+        res = max_min_allocate([demand("a", ["r", "r"], 3.0)], {"r": 10.0})
+        assert res.achieved["a"] == pytest.approx(3.0)
+        assert res.utilization["r"] == pytest.approx(0.6)
+
+    def test_write_fraction_counted_per_occurrence(self):
+        res = max_min_allocate(
+            [
+                demand("bounce", ["r", "r"], float("inf"), wf=1.0),
+                demand("direct", ["r"], float("inf"), wf=0.0),
+            ],
+            {"r": 12.0},
+        )
+        # bounce writes 4 B/s across each of its 2 crossings -> 8 of the
+        # 12 B/s crossing r are writes.
+        assert res.write_fraction["r"] == pytest.approx(8.0 / 12.0)
+
+    def test_deterministic_across_runs(self):
+        demands = [
+            demand("bounce", ["u", "r", "u"], float("inf"), wf=0.3),
+            demand("direct", ["r"], 5.0, wf=0.1),
+        ]
+        caps = {"u": 8.0, "r": 20.0}
+        first = max_min_allocate(demands, caps)
+        second = max_min_allocate(demands, caps)
+        assert first.achieved == second.achieved
+        assert first.utilization == second.utilization
+        assert first.write_fraction == second.write_fraction
+
+    def test_triple_crossing(self):
+        res = max_min_allocate(
+            [demand("a", ["r", "r", "r"], float("inf"))], {"r": 9.0}
+        )
+        assert res.achieved["a"] == pytest.approx(3.0)
+        assert res.utilization["r"] == pytest.approx(1.0)

@@ -130,3 +130,41 @@ class TestCommands:
         assert set(payload) == {"controlled", "uncontrolled"}
         for entry in payload.values():
             assert entry["offered"] > 0
+
+
+class TestWorkersFlag:
+    def test_workers_accepted_on_sweep_shaped_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["fig3", "--workers", "2"],
+            ["fig5", "--quick", "--workers", "4"],
+            ["overload", "sweep", "--workers", "2"],
+            ["faults", "run", "device-flap", "--workers", "2"],
+            ["sweep", "fig5", "--workers", "2"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.workers in (2, 4)
+
+    def test_workers_defaults_to_env_resolution(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.workers is None  # runner falls back to $REPRO_WORKERS
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--workers", "0"])
+
+    def test_tables_has_no_workers_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--workers", "2"])
+
+
+class TestSweepCommand:
+    def test_parser_requires_known_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig99"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "overload"])
+        assert args.target == "overload"
+        assert args.mode == "controlled"
+        assert not args.json and not args.no_progress
