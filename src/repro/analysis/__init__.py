@@ -6,11 +6,17 @@ from .figures import (
     Fig8Result,
     Fig10Result,
     fig3_loaded_latency,
+    fig3_sweep_spec,
     fig4_path_comparison,
+    fig4_sweep_spec,
     fig5_keydb,
+    fig5_sweep_spec,
     fig7_spark,
+    fig7_sweep_spec,
     fig8_cxl_only,
+    fig8_sweep_spec,
     fig10_llm,
+    fig10_sweep_spec,
 )
 from .repeat import RepeatedMetric, repeat_metric
 from .report import ascii_bars, ascii_series, ascii_table
@@ -25,11 +31,17 @@ __all__ = [
     "Fig8Result",
     "Fig10Result",
     "fig3_loaded_latency",
+    "fig3_sweep_spec",
     "fig4_path_comparison",
+    "fig4_sweep_spec",
     "fig5_keydb",
+    "fig5_sweep_spec",
     "fig7_spark",
+    "fig7_sweep_spec",
     "fig8_cxl_only",
+    "fig8_sweep_spec",
     "fig10_llm",
+    "fig10_sweep_spec",
     "RepeatedMetric",
     "repeat_metric",
     "ascii_bars",

@@ -7,10 +7,17 @@ benchmark harness.
 
 Every runner also accepts ``workers``: its independent cells fan out
 through :func:`repro.parallel.run_sweep` (``None`` defers to
-``$REPRO_WORKERS``, defaulting to serial in-process execution).  Cells
-keep the paper protocol of sharing the root seed, and results are
-re-assembled in the historical order, so a parallel figure is
-bit-identical to a serial one.
+``$REPRO_WORKERS``, defaulting to serial in-process execution), and
+``cache`` (a :class:`~repro.cache.store.SweepCache`): completed cells
+are memoized by content fingerprint so warm re-runs and interrupted
+sweeps skip finished work.  Cells keep the paper protocol of sharing
+the root seed, and results are re-assembled in the historical order, so
+a parallel or cache-served figure is bit-identical to a serial cold one.
+
+Each figure also exposes its grid as a ``*_sweep_spec`` builder — the
+shared catalog behind the runners here and the ``repro sweep`` CLI
+(``observed=True`` selects the task variant that additionally snapshots
+a per-cell ``repro.metrics/v1`` document for the merged export).
 """
 
 from __future__ import annotations
@@ -24,19 +31,25 @@ from ..apps.spark import SPARK_CONFIGS
 from ..apps.spark.job import QueryResult
 from ..hw.topology import Platform
 from ..parallel import SweepPoint, SweepSpec, run_sweep, tasks
+from ..sim.rng import DEFAULT_SEED
 from ..workloads.mlc import MlcCurve
 from ..units import GIB
 
 __all__ = [
+    "fig3_sweep_spec",
     "fig3_loaded_latency",
+    "fig4_sweep_spec",
     "fig4_path_comparison",
     "Fig5Result",
     "fig5_sweep_spec",
     "fig5_keydb",
+    "fig7_sweep_spec",
     "fig7_spark",
     "Fig8Result",
+    "fig8_sweep_spec",
     "fig8_cxl_only",
     "Fig10Result",
+    "fig10_sweep_spec",
     "fig10_llm",
 ]
 
@@ -62,11 +75,41 @@ def _panel_path(platform: Platform, panel: str):
     raise KeyError(f"unknown panel {panel!r}")
 
 
+def _load_fractions(load_points: int) -> List[float]:
+    return [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
+
+
+def fig3_sweep_spec(
+    panels: Sequence[str] = FIG3_PANELS,
+    mixes: Sequence[Tuple[int, int]] = FIG3_MIXES,
+    load_points: int = 24,
+    seed: int = DEFAULT_SEED,
+    observed: bool = False,
+) -> SweepSpec:
+    """The Fig. 3 panel grid as a sweep spec (one point per distance)."""
+    fractions = _load_fractions(load_points)
+    return SweepSpec(
+        name="fig3",
+        task=tasks.fig3_panel_observed if observed else tasks.fig3_panel,
+        points=tuple(
+            SweepPoint(
+                key=panel,
+                params={"panel": panel, "mixes": [list(m) for m in mixes],
+                        "fractions": fractions},
+                seed=seed,
+            )
+            for panel in panels
+        ),
+        base_seed=seed,
+    )
+
+
 def fig3_loaded_latency(
     panels: Sequence[str] = FIG3_PANELS,
     mixes: Sequence[Tuple[int, int]] = FIG3_MIXES,
     load_points: int = 24,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[str, MlcCurve]]:
     """Fig. 3: loaded-latency curves for the four distances.
 
@@ -74,21 +117,38 @@ def fig3_loaded_latency(
     SNC-enabled platform, as in §3.1.  Panels are independent and fan
     out across ``workers`` processes.
     """
-    fractions = [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
-    spec = SweepSpec(
-        name="fig3",
-        task=tasks.fig3_panel,
+    spec = fig3_sweep_spec(panels=panels, mixes=mixes, load_points=load_points)
+    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    return {pr.key: pr.value for pr in sweep.results}
+
+
+def fig4_sweep_spec(
+    write_fractions_mixes: Sequence[Tuple[int, int]] = (
+        (1, 0), (3, 1), (2, 1), (1, 1), (1, 2), (0, 1),
+    ),
+    patterns: Sequence[str] = ("sequential", "random"),
+    load_points: int = 24,
+    seed: int = DEFAULT_SEED,
+    observed: bool = False,
+) -> SweepSpec:
+    """The Fig. 4 (pattern, mix) grid as a sweep spec."""
+    fractions = _load_fractions(load_points)
+    return SweepSpec(
+        name="fig4",
+        task=(tasks.fig4_pattern_mix_observed if observed
+              else tasks.fig4_pattern_mix),
         points=tuple(
             SweepPoint(
-                key=panel,
-                params={"panel": panel, "mixes": [list(m) for m in mixes],
+                key=f"{pattern}/{r}:{w}",
+                params={"pattern": pattern, "mix": [r, w],
                         "fractions": fractions},
+                seed=seed,
             )
-            for panel in panels
+            for pattern in patterns
+            for r, w in write_fractions_mixes
         ),
+        base_seed=seed,
     )
-    sweep = run_sweep(spec, workers=workers).raise_failures()
-    return {pr.key: pr.value for pr in sweep.results}
 
 
 def fig4_path_comparison(
@@ -98,6 +158,7 @@ def fig4_path_comparison(
     patterns: Sequence[str] = ("sequential", "random"),
     load_points: int = 24,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, Dict[str, Dict[str, MlcCurve]]]:
     """Fig. 4: per-mix comparison of all distances, both patterns.
 
@@ -105,21 +166,12 @@ def fig4_path_comparison(
     are the sequential mixes; (g)/(h) are the random read/write-only.
     Each (pattern, mix) cell fans out across ``workers`` processes.
     """
-    fractions = [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
-    spec = SweepSpec(
-        name="fig4",
-        task=tasks.fig4_pattern_mix,
-        points=tuple(
-            SweepPoint(
-                key=f"{pattern}/{r}:{w}",
-                params={"pattern": pattern, "mix": [r, w],
-                        "fractions": fractions},
-            )
-            for pattern in patterns
-            for r, w in write_fractions_mixes
-        ),
+    spec = fig4_sweep_spec(
+        write_fractions_mixes=write_fractions_mixes,
+        patterns=patterns,
+        load_points=load_points,
     )
-    sweep = run_sweep(spec, workers=workers).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
     out: Dict[str, Dict[str, Dict[str, MlcCurve]]] = {}
     for point, pr in zip(spec.points, sweep.results):
         pattern = point.params["pattern"]
@@ -203,6 +255,7 @@ def fig5_keydb(
     total_ops: int = 100_000,
     seed: int = 0xC0FFEE,
     workers: Optional[int] = None,
+    cache=None,
 ) -> Fig5Result:
     """Fig. 5: run every (workload, configuration) cell."""
     spec = fig5_sweep_spec(
@@ -212,7 +265,7 @@ def fig5_keydb(
         total_ops=total_ops,
         seed=seed,
     )
-    sweep = run_sweep(spec, workers=workers).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
     result = Fig5Result()
     for point, pr in zip(spec.points, sweep.results):
         workload = point.params["workload"]
@@ -220,17 +273,29 @@ def fig5_keydb(
     return result
 
 
-def fig7_spark(workers: Optional[int] = None) -> Dict[str, Dict[str, QueryResult]]:
-    """Fig. 7: every Spark configuration x every TPC-H query."""
-    spec = SweepSpec(
+def fig7_sweep_spec(
+    configs: Sequence[str] = tuple(SPARK_CONFIGS),
+    seed: int = DEFAULT_SEED,
+    observed: bool = False,
+) -> SweepSpec:
+    """The Fig. 7 configuration columns as a sweep spec."""
+    return SweepSpec(
         name="fig7",
-        task=tasks.fig7_config,
+        task=tasks.fig7_config_observed if observed else tasks.fig7_config,
         points=tuple(
-            SweepPoint(key=config, params={"config": config})
-            for config in SPARK_CONFIGS
+            SweepPoint(key=config, params={"config": config}, seed=seed)
+            for config in configs
         ),
+        base_seed=seed,
     )
-    sweep = run_sweep(spec, workers=workers).raise_failures()
+
+
+def fig7_spark(
+    workers: Optional[int] = None, cache=None
+) -> Dict[str, Dict[str, QueryResult]]:
+    """Fig. 7: every Spark configuration x every TPC-H query."""
+    spec = fig7_sweep_spec()
+    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
     return {pr.key: pr.value for pr in sweep.results}
 
 
@@ -255,16 +320,16 @@ class Fig8Result:
         )
 
 
-def fig8_cxl_only(
+def fig8_sweep_spec(
     record_count: int = 102_400,
     total_ops: int = 150_000,
     seed: int = 0xC0FFEE,
-    workers: Optional[int] = None,
-) -> Fig8Result:
-    """Fig. 8: the §4.3 numactl-bound YCSB-C pair."""
-    spec = SweepSpec(
+    observed: bool = False,
+) -> SweepSpec:
+    """The Fig. 8 MMEM/CXL pair as a sweep spec."""
+    return SweepSpec(
         name="fig8",
-        task=tasks.fig8_cell,
+        task=tasks.fig8_cell_observed if observed else tasks.fig8_cell,
         points=tuple(
             SweepPoint(
                 key=key,
@@ -279,7 +344,20 @@ def fig8_cxl_only(
         ),
         base_seed=seed,
     )
-    sweep = run_sweep(spec, workers=workers).raise_failures()
+
+
+def fig8_cxl_only(
+    record_count: int = 102_400,
+    total_ops: int = 150_000,
+    seed: int = 0xC0FFEE,
+    workers: Optional[int] = None,
+    cache=None,
+) -> Fig8Result:
+    """Fig. 8: the §4.3 numactl-bound YCSB-C pair."""
+    spec = fig8_sweep_spec(
+        record_count=record_count, total_ops=total_ops, seed=seed
+    )
+    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
     return Fig8Result(mmem=sweep.value("mmem"), cxl=sweep.value("cxl"))
 
 
@@ -299,26 +377,39 @@ class Fig10Result:
         raise KeyError(f"no sample at {threads} threads for {config}")
 
 
-def fig10_llm(
+def fig10_sweep_spec(
     backend_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
-    fig10b_threads: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32),
-    fig10c_kv_gib: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
-    workers: Optional[int] = None,
-) -> Fig10Result:
-    """Fig. 10(a)-(c): serving-rate sweep plus both bandwidth probes."""
-    spec = SweepSpec(
+    configs: Sequence[str] = tuple(LLM_CONFIGS),
+    seed: int = DEFAULT_SEED,
+    observed: bool = False,
+) -> SweepSpec:
+    """The Fig. 10(a) configuration series as a sweep spec."""
+    return SweepSpec(
         name="fig10",
-        task=tasks.fig10_config,
+        task=tasks.fig10_config_observed if observed else tasks.fig10_config,
         points=tuple(
             SweepPoint(
                 key=config,
                 params={"config": config,
                         "backend_counts": [int(n) for n in backend_counts]},
+                seed=seed,
             )
-            for config in LLM_CONFIGS
+            for config in configs
         ),
+        base_seed=seed,
     )
-    sweep = run_sweep(spec, workers=workers).raise_failures()
+
+
+def fig10_llm(
+    backend_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    fig10b_threads: Sequence[int] = (4, 8, 12, 16, 20, 24, 28, 32),
+    fig10c_kv_gib: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
+    workers: Optional[int] = None,
+    cache=None,
+) -> Fig10Result:
+    """Fig. 10(a)-(c): serving-rate sweep plus both bandwidth probes."""
+    spec = fig10_sweep_spec(backend_counts=backend_counts)
+    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
     serving = {pr.key: pr.value for pr in sweep.results}
     probe = LlmServingExperiment("mmem")
     fig10b = [(t, probe.fig10b_bandwidth_gbps(t)) for t in fig10b_threads]

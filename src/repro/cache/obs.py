@@ -1,0 +1,100 @@
+"""Cache and sweep counters as lazy ``repro.obs`` collectors.
+
+Two adapters in the same style as every other accounting object's
+``register_into``: a callback registered on a
+:class:`~repro.obs.registry.MetricsRegistry` that emits samples at
+snapshot time, so wiring costs nothing while the sweep runs.
+
+These samples are deliberately **not** part of the merged per-point
+``repro.metrics/v1`` export: hit/miss counts differ between a cold and
+a warm run, and the merged document must stay byte-identical across
+the two.  They surface instead through ``repro cache stats --json``
+and the sweep summary lines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..parallel.jobs import SweepResult
+    from .store import CacheStats, SweepCache
+
+__all__ = [
+    "register_cache_stats",
+    "register_store_snapshot",
+    "register_sweep_result",
+]
+
+
+def register_cache_stats(
+    registry: Any, stats: "CacheStats", labels: Any = None
+) -> None:
+    """Export hit/miss/eviction/resume counters as a lazy collector.
+
+    Samples: ``sweep_cache_hits`` / ``_misses`` / ``_stores`` /
+    ``_store_failures`` / ``_evictions`` / ``_corrupted`` (counters) and
+    ``sweep_points_resumed`` (counter).
+    """
+    from ..obs.registry import Sample
+
+    base = dict(labels or {})
+
+    def collect():
+        for name, value in (
+            ("sweep_cache_hits", stats.hits),
+            ("sweep_cache_misses", stats.misses),
+            ("sweep_cache_stores", stats.stores),
+            ("sweep_cache_store_failures", stats.store_failures),
+            ("sweep_cache_evictions", stats.evictions),
+            ("sweep_cache_corrupted", stats.corrupted),
+            ("sweep_points_resumed", stats.resumed),
+        ):
+            yield Sample(name, "counter", dict(base), float(value))
+
+    registry.register_collector(collect)
+
+
+def register_store_snapshot(registry: Any, cache: "SweepCache") -> None:
+    """Export the on-disk store shape (entries, bytes, cap) as gauges."""
+    from ..obs.registry import Sample
+
+    def collect():
+        snap = cache.stats_snapshot()
+        for name, value in (
+            ("sweep_cache_entries", snap["entries"]),
+            ("sweep_cache_bytes", snap["total_bytes"]),
+            ("sweep_cache_max_bytes", snap["max_bytes"]),
+        ):
+            yield Sample(name, "gauge", {}, float(value))
+
+    registry.register_collector(collect)
+
+
+def register_sweep_result(registry: Any, sweep: "SweepResult") -> None:
+    """Export per-point wall-clock and cache provenance as a collector.
+
+    ``sweep_point_elapsed_s{sweep=,point=,cached=}`` gauges (0.0 for a
+    cache-served point: no execution happened), plus the sweep's cache
+    counters when it ran with a cache attached.
+    """
+    from ..obs.registry import Sample
+
+    def collect():
+        for pr in sweep.results:
+            yield Sample(
+                "sweep_point_elapsed_s",
+                "gauge",
+                {
+                    "sweep": sweep.name,
+                    "point": pr.key,
+                    "cached": "1" if pr.cached else "0",
+                },
+                float(pr.elapsed_s),
+            )
+
+    registry.register_collector(collect)
+    if sweep.cache_stats is not None:
+        register_cache_stats(
+            registry, sweep.cache_stats, labels={"sweep": sweep.name}
+        )

@@ -18,11 +18,21 @@ paper-style rows/series::
     repro metrics --quick --json          # metrics-registry snapshot
     repro trace --quick                   # per-layer latency breakdown
     repro sweep fig5 --quick --workers 4  # parallel sweep, merged metrics
+    repro sweep fig10 --quick             # any stock figure target
+    repro cache stats                     # result-cache shape
+    repro cache verify                    # integrity-scan every entry
 
 Sweep-shaped commands (figures, ``overload sweep``, ``faults run``,
 ``sweep``) take ``--workers N`` to fan independent points across
 processes; ``$REPRO_WORKERS`` sets the default.  Parallel results are
 bit-identical to serial ones.
+
+The same commands memoize completed points in a content-addressed
+on-disk cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro/sweeps``):
+warm re-runs skip execution entirely, interrupted sweeps resume from
+the last persisted point, and editing any ``repro`` source invalidates
+every stale entry via the code fingerprint.  ``--no-cache`` opts a run
+out; ``repro cache {stats,clear,verify}`` maintains the store.
 
 The same runners back ``pytest benchmarks/``; the CLI is the
 no-test-harness path for interactive exploration.
@@ -57,9 +67,19 @@ from .units import gb_per_s
 __all__ = ["main"]
 
 
+def _open_cache(args: argparse.Namespace):
+    """The result cache for one command (None under ``--no-cache``)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from .cache import SweepCache
+
+    return SweepCache()
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
     panels = fig3_loaded_latency(load_points=8 if args.quick else 24,
-                                 workers=args.workers)
+                                 workers=args.workers,
+                                 cache=_open_cache(args))
     for panel, curves in panels.items():
         rows = [
             (mix, f"{c.idle_latency_ns:.1f}", f"{c.peak_bandwidth_gbps:.1f}")
@@ -71,7 +91,8 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
     data = fig4_path_comparison(load_points=8 if args.quick else 24,
-                                workers=args.workers)
+                                workers=args.workers,
+                                cache=_open_cache(args))
     for pattern, per_mix in data.items():
         rows = []
         for mix, panels in per_mix.items():
@@ -90,7 +111,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     scale = (16_384, 20_000) if args.quick else (65_536, 100_000)
     result = fig5_keydb(record_count=scale[0], total_ops=scale[1],
-                        workers=args.workers)
+                        workers=args.workers, cache=_open_cache(args))
     rows = []
     for config, per_wl in result.throughput_table():
         rows.append([config] + [f"{per_wl[w]:.0f}" for w in ("A", "B", "C", "D")])
@@ -100,7 +121,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    results = fig7_spark(workers=args.workers)
+    results = fig7_spark(workers=args.workers, cache=_open_cache(args))
     base = {q: r.total_ns for q, r in results["mmem"].items()}
     rows = []
     for name, per_query in results.items():
@@ -117,7 +138,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 def _cmd_fig8(args: argparse.Namespace) -> int:
     scale = (20_480, 20_000) if args.quick else (102_400, 150_000)
     pair = fig8_cxl_only(record_count=scale[0], total_ops=scale[1],
-                         workers=args.workers)
+                         workers=args.workers, cache=_open_cache(args))
     print(
         ascii_table(
             ["quantity", "value"],
@@ -135,7 +156,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
-    result = fig10_llm(workers=args.workers)
+    result = fig10_llm(workers=args.workers, cache=_open_cache(args))
     configs = list(result.serving)
     rows = []
     for point in result.serving["mmem"]:
@@ -223,30 +244,19 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     import json
 
     from .errors import ConfigurationError
-    from .faults import FAULT_APPS, SCENARIOS
-    from .parallel import SweepPoint, SweepSpec, run_sweep, tasks
+    from .faults import FAULT_APPS, SCENARIOS, fault_sweep_spec
+    from .parallel import run_sweep
 
     if args.scenario not in SCENARIOS:
         print(f"error: unknown fault scenario {args.scenario!r}; expected one "
               f"of {sorted(SCENARIOS)}", file=sys.stderr)
         return 2
     apps = sorted(FAULT_APPS) if args.app == "all" else [args.app]
-    spec = SweepSpec(
-        name="faults",
-        task=tasks.fault_case,
-        points=tuple(
-            SweepPoint(
-                key=app,
-                params={"app": app, "scenario": args.scenario,
-                        "quick": args.quick},
-                seed=args.seed,
-            )
-            for app in apps
-        ),
-        base_seed=args.seed,
-    )
     try:
-        sweep = run_sweep(spec, workers=args.workers)
+        spec = fault_sweep_spec(
+            args.scenario, apps=apps, seed=args.seed, quick=args.quick
+        )
+        sweep = run_sweep(spec, workers=args.workers, cache=_open_cache(args))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -303,6 +313,7 @@ def _cmd_overload_sweep(args: argparse.Namespace) -> int:
                 record_count=record_count,
                 seed=args.seed,
                 workers=args.workers,
+                cache=_open_cache(args),
             )
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -447,9 +458,64 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _sweep_progress(done: int, total: int, result) -> None:
-    status = "ok" if result.ok else f"FAIL ({result.error.type})"
-    print(f"[{done}/{total}] {result.key}: {status} "
-          f"({result.elapsed_s:.2f}s)", file=sys.stderr, flush=True)
+    if result.ok:
+        status = "cached" if result.cached else f"ok ({result.elapsed_s:.2f}s)"
+    else:
+        status = f"FAIL ({result.error.type})"
+    print(f"[{done}/{total}] {result.key}: {status}",
+          file=sys.stderr, flush=True)
+
+
+#: Stock targets of ``repro sweep`` (all spawn-importable observed tasks).
+SWEEP_TARGETS = ("fig3", "fig4", "fig5", "fig7", "fig8", "fig10", "overload")
+
+
+def _sweep_spec(args: argparse.Namespace):
+    """The observed sweep spec for one CLI target, at the --quick scale."""
+    quick = args.quick
+    if args.target == "fig3":
+        from .analysis.figures import fig3_sweep_spec
+
+        return fig3_sweep_spec(load_points=8 if quick else 24,
+                               seed=args.seed, observed=True)
+    if args.target == "fig4":
+        from .analysis.figures import fig4_sweep_spec
+
+        return fig4_sweep_spec(load_points=8 if quick else 24,
+                               seed=args.seed, observed=True)
+    if args.target == "fig5":
+        from .analysis.figures import fig5_sweep_spec
+
+        scale = (16_384, 20_000) if quick else (65_536, 100_000)
+        return fig5_sweep_spec(record_count=scale[0], total_ops=scale[1],
+                               seed=args.seed, observed=True)
+    if args.target == "fig7":
+        from .analysis.figures import fig7_sweep_spec
+
+        return fig7_sweep_spec(seed=args.seed, observed=True)
+    if args.target == "fig8":
+        from .analysis.figures import fig8_sweep_spec
+
+        scale = (20_480, 20_000) if quick else (102_400, 150_000)
+        return fig8_sweep_spec(record_count=scale[0], total_ops=scale[1],
+                               seed=args.seed, observed=True)
+    if args.target == "fig10":
+        from .analysis.figures import fig10_sweep_spec
+
+        return fig10_sweep_spec(
+            backend_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6),
+            seed=args.seed, observed=True,
+        )
+    # overload
+    from .overload.runner import offered_load_sweep_spec
+
+    return offered_load_sweep_spec(
+        controlled=args.mode == "controlled",
+        duration_ns=20e6 if quick else 40e6,
+        record_count=4096 if quick else 16_384,
+        seed=args.seed,
+        observed=True,
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -459,26 +525,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .parallel import merge_metrics_documents, run_sweep
 
     try:
-        if args.target == "fig5":
-            from .analysis.figures import fig5_sweep_spec
-
-            scale = (16_384, 20_000) if args.quick else (65_536, 100_000)
-            spec = fig5_sweep_spec(
-                record_count=scale[0], total_ops=scale[1], seed=args.seed,
-                observed=True,
-            )
-        else:  # overload
-            from .overload.runner import offered_load_sweep_spec
-
-            spec = offered_load_sweep_spec(
-                controlled=args.mode == "controlled",
-                duration_ns=20e6 if args.quick else 40e6,
-                record_count=4096 if args.quick else 16_384,
-                seed=args.seed,
-                observed=True,
-            )
+        spec = _sweep_spec(args)
         progress = None if args.no_progress else _sweep_progress
-        sweep = run_sweep(spec, workers=args.workers, progress=progress)
+        sweep = run_sweep(spec, workers=args.workers, progress=progress,
+                          cache=_open_cache(args))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -490,6 +540,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"[sweep {spec.name}] {len(sweep.results)} points, "
           f"{sweep.workers} worker(s), {sweep.elapsed_s:.1f}s",
           file=sys.stderr, flush=True)
+    cs = sweep.cache_stats
+    if cs is not None:
+        print(f"[sweep {spec.name}] cache: {cs.hits} hits, "
+              f"{cs.misses} misses, {cs.evictions} evictions, "
+              f"{cs.resumed} resumed", file=sys.stderr, flush=True)
     merged = merge_metrics_documents(
         [(pr.key, pr.value["metrics"]) for pr in sweep.results],
         generated_by=f"repro sweep {args.target}",
@@ -504,7 +559,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
         headers = ["workload/config", "kops/s"]
         title = "Sweep fig5: KeyDB YCSB throughput"
-    else:
+    elif args.target == "overload":
         rows = [
             (
                 pr.key,
@@ -516,11 +571,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
         headers = ["point", "goodput k/s", "shed", "miss"]
         title = f"Sweep overload ({args.mode})"
+    else:
+        rows = [
+            (pr.key, quantity, value)
+            for pr in sweep.results
+            for quantity, value in pr.value["rows"]
+        ]
+        headers = ["point", "quantity", "value"]
+        title = f"Sweep {args.target}"
     print(ascii_table(headers, rows, title=title))
     print(f"\n{len(merged['metrics'])} merged samples across "
           f"{len(sweep.results)} points (use --json for the "
           f"repro.metrics/v1 document)")
     return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from .cache import SweepCache, code_fingerprint, register_store_snapshot
+
+    cache = SweepCache()
+    if args.json:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        register_store_snapshot(registry, cache)
+        print(registry.to_json())
+        return 0
+    snap = cache.stats_snapshot()
+    print(ascii_table(
+        ["quantity", "value"],
+        [
+            ("root", snap["root"]),
+            ("entries", f"{snap['entries']}"),
+            ("total bytes", f"{snap['total_bytes']:,}"),
+            ("size cap", f"{snap['max_bytes']:,}"),
+            ("code fingerprint", code_fingerprint()[:16]),
+        ],
+        title="Sweep result cache",
+    ))
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    from .cache import SweepCache
+
+    cache = SweepCache()
+    removed = cache.clear()
+    print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+          f"from {cache.root}")
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    from .cache import SweepCache
+
+    cache = SweepCache()
+    report = cache.verify(purge=args.purge)
+    for fingerprint, reason in report.bad:
+        print(f"BAD {fingerprint}: {reason}"
+              + (" (removed)" if args.purge else ""), file=sys.stderr)
+    print(f"{report.checked - len(report.bad)}/{report.checked} entries ok "
+          f"in {cache.root}")
+    return 1 if report.bad else 0
 
 
 def _nonnegative_seed(text: str) -> int:
@@ -543,6 +655,11 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent sweep points "
              "(default: $REPRO_WORKERS, else 1; parallel results are "
              "bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the content-addressed result cache "
+             "($REPRO_CACHE_DIR, default ~/.cache/repro/sweeps)",
     )
 
 
@@ -653,7 +770,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="parallel sweep with a merged repro.metrics/v1 export"
     )
     p.add_argument(
-        "target", choices=("fig5", "overload"),
+        "target", choices=SWEEP_TARGETS,
         help="which stock sweep to run",
     )
     p.add_argument(
@@ -668,6 +785,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="suppress per-point progress lines on stderr")
     _add_workers(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="sweep result cache maintenance")
+    csub = p.add_subparsers(dest="cache_command", required=True)
+    cp = csub.add_parser("stats", help="entry count, bytes, cap, location")
+    cp.add_argument("--json", action="store_true",
+                    help="emit a repro.metrics/v1 snapshot")
+    cp.set_defaults(func=_cmd_cache_stats)
+    cp = csub.add_parser("clear", help="remove every cached result")
+    cp.set_defaults(func=_cmd_cache_clear)
+    cp = csub.add_parser("verify", help="integrity-scan every entry")
+    cp.add_argument("--purge", action="store_true",
+                    help="delete entries that fail verification")
+    cp.set_defaults(func=_cmd_cache_verify)
 
     p = sub.add_parser("advise", help="configuration advisor (§3.4/§5.3)")
     p.add_argument("--demand-gbps", type=float, default=50.0)

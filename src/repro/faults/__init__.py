@@ -20,7 +20,7 @@ from .injector import FaultInjector
 from .metrics import FaultRecoveryReport, RecoveryTracker
 from .plan import FaultEvent, FaultKind, FaultPlan
 from .retry import RetryPolicy, retry_call
-from .runner import FAULT_APPS, FaultedRunSummary, run_faulted_app
+from .runner import FAULT_APPS, FaultedRunSummary, fault_sweep_spec, run_faulted_app
 from .scenarios import SCENARIOS, Scenario, build_scenario
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "FaultPlan",
     "FaultRecoveryReport",
     "FaultedRunSummary",
+    "fault_sweep_spec",
     "RecoveryTracker",
     "run_faulted_app",
     "RetryPolicy",

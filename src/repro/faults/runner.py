@@ -32,6 +32,7 @@ from .scenarios import SCENARIOS, build_scenario
 __all__ = [
     "FAULT_APPS",
     "FaultedRunSummary",
+    "fault_sweep_spec",
     "run_faulted_app",
     "run_faulted_keydb",
     "run_faulted_llm",
@@ -317,3 +318,47 @@ def run_faulted_app(
             f"unknown fault scenario {scenario!r}; expected one of {sorted(SCENARIOS)}"
         )
     return FAULT_APPS[app](scenario, seed=seed, quick=quick, registry=registry)
+
+
+def fault_sweep_spec(
+    scenario: str,
+    apps: Optional[List[str]] = None,
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    observed: bool = False,
+):
+    """The (app, scenario) fault cases as a sweep spec.
+
+    One point per app, all pinned to the shared seed (the fault trace
+    is a function of the seed).  ``observed=True`` selects the task
+    variant that also snapshots per-case metrics.  The spec feeds
+    :func:`repro.parallel.run_sweep` — including its result cache, so
+    repeated ``repro faults run`` invocations of an unchanged scenario
+    are lookups, not re-simulations.
+    """
+    from ..parallel import SweepPoint, SweepSpec, tasks
+
+    if scenario not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown fault scenario {scenario!r}; expected one of {sorted(SCENARIOS)}"
+        )
+    if apps is None:
+        apps = sorted(FAULT_APPS)
+    for app in apps:
+        if app not in FAULT_APPS:
+            raise ConfigurationError(
+                f"unknown app {app!r}; expected one of {sorted(FAULT_APPS)}"
+            )
+    return SweepSpec(
+        name="faults",
+        task=tasks.fault_case_observed if observed else tasks.fault_case,
+        points=tuple(
+            SweepPoint(
+                key=app,
+                params={"app": app, "scenario": scenario, "quick": quick},
+                seed=seed,
+            )
+            for app in apps
+        ),
+        base_seed=seed,
+    )

@@ -297,12 +297,16 @@ def sweep_offered_load(
     threads: int = 7,
     discipline: QueueDiscipline = QueueDiscipline.FIFO,
     workers: Optional[int] = None,
+    cache=None,
 ) -> List[OverloadRunSummary]:
     """Offered load vs goodput: sweep factors of the calibrated capacity.
 
     Capacity is calibrated once in the parent; the per-factor runs are
     independent and fan out across ``workers`` processes (the policy is
     pure declarative config, so it pickles into spawned workers).
+    ``cache`` (a :class:`~repro.cache.store.SweepCache`) memoizes
+    completed factors — the policy and calibrated rate are part of each
+    point's params, so a recalibration that changes them re-executes.
     """
     spec = offered_load_sweep_spec(
         factors=factors,
@@ -316,7 +320,7 @@ def sweep_offered_load(
     )
     from ..parallel import run_sweep
 
-    sweep = run_sweep(spec, workers=workers).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
     return list(sweep.values())
 
 

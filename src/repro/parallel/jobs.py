@@ -25,10 +25,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..sim.rng import DEFAULT_SEED
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..cache.store import CacheStats
 
 __all__ = [
     "derive_seed",
@@ -157,6 +160,10 @@ class PointResult:
     ``elapsed_s`` is host wall-clock — metadata for progress lines and
     speedup measurements only.  It is deliberately excluded from every
     merged export, which must stay bit-identical across worker counts.
+    ``cached`` marks a point served from the result cache without
+    executing (its ``elapsed_s`` is 0.0); the *value* of a cached point
+    is bit-identical to an executed one, so ``cached`` too stays out of
+    merged exports.
     """
 
     key: str
@@ -167,6 +174,7 @@ class PointResult:
     value: Any = None
     error: Optional[PointError] = None
     elapsed_s: float = 0.0
+    cached: bool = False
 
     def as_dict(self) -> Dict[str, Any]:
         """Deterministic JSON-ready form (no timings, no worker ids)."""
@@ -199,6 +207,8 @@ class SweepResult:
     workers: int
     results: List[PointResult]
     elapsed_s: float = 0.0
+    #: Cache counter deltas for this run (None when run without a cache).
+    cache_stats: Optional["CacheStats"] = None
 
     @property
     def ok(self) -> bool:

@@ -18,6 +18,15 @@ converted into a failed point rather than wedging the pool.
 
 Worker count resolution (first match wins): the explicit ``workers``
 argument, the ``REPRO_WORKERS`` environment variable, then 1.
+
+Result caching: pass ``cache`` (a :class:`~repro.cache.store.SweepCache`)
+and every point is first looked up by its content fingerprint — hits are
+served without executing (``PointResult.cached``), misses execute and
+are persisted **immediately on completion**, before the progress
+callback fires, so a sweep killed mid-run resumes from the last
+completed point on the next invocation.  Cached values are the exact
+objects a cold run produces, so merged exports stay byte-identical
+between cold and warm runs.
 """
 
 from __future__ import annotations
@@ -26,10 +35,13 @@ import os
 import pickle
 import time
 import traceback
-from typing import Any, Callable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .jobs import PointError, PointResult, SweepResult, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..cache.store import SweepCache
 
 __all__ = ["WORKERS_ENV", "resolve_workers", "run_sweep"]
 
@@ -130,56 +142,124 @@ def run_sweep(
     spec: SweepSpec,
     workers: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    cache: Optional["SweepCache"] = None,
 ) -> SweepResult:
     """Execute every point of ``spec``; results come back in spec order.
 
     ``workers=1`` (the default when ``REPRO_WORKERS`` is unset) runs the
     points in-process with zero behavioral difference from a plain loop.
     ``workers>1`` fans the points out over a spawn-context pool sized
-    ``min(workers, len(points))``.  ``progress`` is invoked in the
-    parent, in completion order, after each point lands.
+    ``min(workers, misses)``.  ``progress`` is invoked in the parent, in
+    completion order, after each point lands.
+
+    With ``cache`` set, points whose fingerprints are already stored are
+    served without executing (in spec order, before any execution
+    starts) and every successfully executed point is persisted the
+    moment its result lands in the parent — *before* ``progress`` fires
+    — so interrupting the sweep never loses completed work.  Failed
+    points are never cached.  The returned :attr:`SweepResult.cache_stats`
+    carries this run's hit/miss/store/eviction deltas.
     """
     n_workers = resolve_workers(workers)
     points = spec.points
     total = len(points)
     started = time.perf_counter()
     slots: List[Optional[PointResult]] = [None] * total
+    done = 0
+    pending = list(range(total))
+    fingerprints: List[str] = []
+    stats_before = None
+    tname = ""
 
-    if n_workers == 1 or total == 1:
+    if cache is not None:
+        from ..cache.fingerprint import task_name
+
+        tname = task_name(spec.task)
+        stats_before = cache.stats.snapshot()
+        fingerprints = [
+            cache.key_for(spec.task, point.params, point.seed)
+            for point in points
+        ]
+        pending = []
         for index, point in enumerate(points):
+            entry = cache.lookup(fingerprints[index])
+            if entry is None:
+                pending.append(index)
+                continue
+            result = PointResult(
+                key=point.key,
+                index=index,
+                seed=point.seed,
+                params=dict(point.params),
+                ok=True,
+                value=entry.value,
+                elapsed_s=0.0,
+                cached=True,
+            )
+            slots[index] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+
+    def _persist(result: PointResult) -> None:
+        if cache is not None and result.ok:
+            cache.put(
+                fingerprints[result.index],
+                result.value,
+                key=result.key,
+                task=tname,
+                seed=result.seed,
+                elapsed_s=result.elapsed_s,
+            )
+
+    def _finish(pool_size: int) -> SweepResult:
+        cache_stats = None
+        if cache is not None and stats_before is not None:
+            cache_stats = cache.stats.delta(stats_before)
+            executed = total - done_from_cache
+            if cache_stats.hits and executed:
+                # Served-from-cache points alongside fresh executions:
+                # this run resumed (or extended) an earlier sweep.
+                cache_stats.resumed = cache_stats.hits
+                cache.stats.resumed += cache_stats.hits
+        return SweepResult(
+            name=spec.name,
+            base_seed=spec.base_seed,
+            workers=pool_size,
+            results=[pr for pr in slots if pr is not None],
+            elapsed_s=time.perf_counter() - started,
+            cache_stats=cache_stats,
+        )
+
+    done_from_cache = done
+
+    if n_workers == 1 or len(pending) <= 1:
+        for index in pending:
+            point = points[index]
             result = _execute_point(
                 spec.task, point.key, index, point.params, point.seed
             )
             slots[index] = result
+            _persist(result)
+            done += 1
             if progress is not None:
-                progress(index + 1, total, result)
-        return SweepResult(
-            name=spec.name,
-            base_seed=spec.base_seed,
-            workers=1,
-            results=[pr for pr in slots if pr is not None],
-            elapsed_s=time.perf_counter() - started,
-        )
+                progress(done, total, result)
+        return _finish(1)
 
     import multiprocessing
 
     payloads = [
-        (spec.task, point.key, index, dict(point.params), point.seed)
-        for index, point in enumerate(points)
+        (spec.task, points[index].key, index, dict(points[index].params),
+         points[index].seed)
+        for index in pending
     ]
     ctx = multiprocessing.get_context("spawn")
-    pool_size = min(n_workers, total)
-    done = 0
+    pool_size = min(n_workers, len(pending))
     with ctx.Pool(processes=pool_size) as pool:
         for result in pool.imap_unordered(_worker_run, payloads):
             slots[result.index] = result
+            _persist(result)
             done += 1
             if progress is not None:
                 progress(done, total, result)
-    return SweepResult(
-        name=spec.name,
-        base_seed=spec.base_seed,
-        workers=pool_size,
-        results=[pr for pr in slots if pr is not None],
-        elapsed_s=time.perf_counter() - started,
-    )
+    return _finish(pool_size)

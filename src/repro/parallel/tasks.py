@@ -24,12 +24,17 @@ from typing import Any, Dict, Mapping
 __all__ = [
     "demo_point",
     "fig3_panel",
+    "fig3_panel_observed",
     "fig4_pattern_mix",
+    "fig4_pattern_mix_observed",
     "fig5_cell",
     "fig5_cell_observed",
     "fig7_config",
+    "fig7_config_observed",
     "fig8_cell",
+    "fig8_cell_observed",
     "fig10_config",
+    "fig10_config_observed",
     "overload_point",
     "overload_point_observed",
     "fault_case",
@@ -79,6 +84,28 @@ def fig3_panel(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+def fig3_panel_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 3 panel plus its ``repro.metrics/v1`` snapshot."""
+    from ..obs.registry import MetricsRegistry
+
+    curves = fig3_panel(params, seed)
+    panel = params["panel"]
+    registry = MetricsRegistry()
+    gauge = registry.gauge(
+        "mlc_curve", "loaded-latency curve endpoints",
+        ("panel", "mix", "quantity"),
+    )
+    rows = []
+    for mix, curve in curves.items():
+        gauge.set(curve.idle_latency_ns, panel=panel, mix=mix,
+                  quantity="idle_latency_ns")
+        gauge.set(curve.peak_bandwidth_gbps, panel=panel, mix=mix,
+                  quantity="peak_bandwidth_gbps")
+        rows.append((f"{mix} idle ns", f"{curve.idle_latency_ns:.1f}"))
+        rows.append((f"{mix} peak GB/s", f"{curve.peak_bandwidth_gbps:.1f}"))
+    return {"rows": rows, "metrics": registry.as_dict()}
+
+
 def fig4_pattern_mix(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     """One Fig. 4 cell: ``{panel: MlcCurve}`` for one (pattern, mix)."""
     from ..analysis.figures import FIG3_PANELS, _panel_path
@@ -95,6 +122,30 @@ def fig4_pattern_mix(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
         )
         for panel in FIG3_PANELS
     }
+
+
+def fig4_pattern_mix_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 4 cell plus its ``repro.metrics/v1`` snapshot."""
+    from ..obs.registry import MetricsRegistry
+
+    per_panel = fig4_pattern_mix(params, seed)
+    pattern = params["pattern"]
+    r, w = params["mix"]
+    mix = f"{r}:{w}"
+    registry = MetricsRegistry()
+    gauge = registry.gauge(
+        "mlc_curve", "loaded-latency curve endpoints",
+        ("pattern", "mix", "panel", "quantity"),
+    )
+    rows = []
+    for panel, curve in per_panel.items():
+        gauge.set(curve.idle_latency_ns, pattern=pattern, mix=mix,
+                  panel=panel, quantity="idle_latency_ns")
+        gauge.set(curve.peak_bandwidth_gbps, pattern=pattern, mix=mix,
+                  panel=panel, quantity="peak_bandwidth_gbps")
+        rows.append((f"{panel} idle ns", f"{curve.idle_latency_ns:.1f}"))
+        rows.append((f"{panel} peak GB/s", f"{curve.peak_bandwidth_gbps:.1f}"))
+    return {"rows": rows, "metrics": registry.as_dict()}
 
 
 # -- Fig. 5 / Fig. 8 (KeyDB YCSB) -------------------------------------------
@@ -161,6 +212,30 @@ def fig8_cell(params: Mapping[str, Any], seed: int):
     )
 
 
+def fig8_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 8 half plus its ``repro.metrics/v1`` snapshot."""
+    from ..obs.registry import MetricsRegistry
+
+    result = fig8_cell(params, seed)
+    side = "cxl" if params["on_cxl"] else "mmem"
+    registry = MetricsRegistry()
+    gauge = registry.gauge(
+        "keydb_cxl_only", "numactl-bound YCSB-C run", ("side", "quantity")
+    )
+    p50 = result.read_latency.percentile(50)
+    p99 = result.read_latency.percentile(99)
+    gauge.set(result.throughput_ops_per_s, side=side,
+              quantity="throughput_ops_per_s")
+    gauge.set(p50, side=side, quantity="read_p50_ns")
+    gauge.set(p99, side=side, quantity="read_p99_ns")
+    rows = [
+        ("throughput kops/s", f"{result.throughput_ops_per_s / 1e3:.0f}"),
+        ("read p50 us", f"{p50 / 1e3:.1f}"),
+        ("read p99 us", f"{p99 / 1e3:.1f}"),
+    ]
+    return {"rows": rows, "metrics": registry.as_dict()}
+
+
 # -- Fig. 7 (Spark) ----------------------------------------------------------
 
 
@@ -169,6 +244,28 @@ def fig7_config(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     from ..apps.spark.experiment import run_spark_config
 
     return run_spark_config(params["config"])
+
+
+def fig7_config_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 7 column plus its ``repro.metrics/v1`` snapshot."""
+    from ..obs.registry import MetricsRegistry
+
+    per_query = fig7_config(params, seed)
+    config = params["config"]
+    registry = MetricsRegistry()
+    gauge = registry.gauge(
+        "spark_query", "per-query TPC-H results",
+        ("config", "query", "quantity"),
+    )
+    rows = []
+    for query in sorted(per_query):
+        result = per_query[query]
+        gauge.set(result.total_ns, config=config, query=query,
+                  quantity="total_ns")
+        gauge.set(result.shuffle_fraction, config=config, query=query,
+                  quantity="shuffle_fraction")
+        rows.append((f"{query} total ms", f"{result.total_ns / 1e6:.2f}"))
+    return {"rows": rows, "metrics": registry.as_dict()}
 
 
 # -- Fig. 10 (LLM serving) ---------------------------------------------------
@@ -181,6 +278,32 @@ def fig10_config(params: Mapping[str, Any], seed: int):
     return LlmServingExperiment(params["config"]).sweep(
         tuple(params["backend_counts"])
     )
+
+
+def fig10_config_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 10(a) series plus its ``repro.metrics/v1`` snapshot."""
+    from ..obs.registry import MetricsRegistry
+
+    points = fig10_config(params, seed)
+    config = params["config"]
+    registry = MetricsRegistry()
+    gauge = registry.gauge(
+        "llm_serving", "serving-rate sweep samples",
+        ("config", "backends", "quantity"),
+    )
+    rows = []
+    for point in points:
+        gauge.set(point.tokens_per_second, config=config,
+                  backends=point.backends, quantity="tokens_per_s")
+        gauge.set(point.dram_utilization, config=config,
+                  backends=point.backends, quantity="dram_utilization")
+        gauge.set(point.cxl_utilization, config=config,
+                  backends=point.backends, quantity="cxl_utilization")
+        rows.append(
+            (f"{point.backends} backends tokens/s",
+             f"{point.tokens_per_second:.0f}")
+        )
+    return {"rows": rows, "metrics": registry.as_dict()}
 
 
 # -- overload sweeps ---------------------------------------------------------

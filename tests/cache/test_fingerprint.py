@@ -1,0 +1,118 @@
+"""Fingerprint invalidation: every input to the key must matter."""
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro.cache import (
+    canonical_params,
+    code_fingerprint,
+    point_fingerprint,
+    task_name,
+)
+from repro.parallel import tasks
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Knob:
+    rate: float
+    depth: int
+
+
+class NoRepr:
+    """Default object.__repr__ — address-based, must be rejected."""
+
+
+BASE = {"workload": "A", "config": "mmem", "total_ops": 20_000}
+
+
+class TestCanonicalParams:
+    def test_dict_order_invariant(self):
+        a = {"x": 1, "y": 2, "z": {"b": 2, "a": 1}}
+        b = {"z": {"a": 1, "b": 2}, "y": 2, "x": 1}
+        assert canonical_params(a) == canonical_params(b)
+
+    def test_tuple_and_list_interchangeable(self):
+        assert canonical_params({"v": (1, 2)}) == canonical_params({"v": [1, 2]})
+
+    def test_float_precision_preserved(self):
+        a = canonical_params({"f": 0.1})
+        b = canonical_params({"f": float("0.1")})  # same double
+        c = canonical_params({"f": 0.1 + 2e-17})  # adjacent double
+        assert a == b
+        assert a != c
+
+    def test_int_and_float_distinct(self):
+        assert canonical_params({"v": 1}) != canonical_params({"v": 1.0})
+
+    def test_enum_and_dataclass_and_set(self):
+        text = canonical_params(
+            {"color": Color.RED, "knob": Knob(0.5, 3), "tags": {"b", "a"}}
+        )
+        assert "Color.RED" in text
+        assert "Knob" in text
+        # Set encoding is order-independent.
+        assert canonical_params({"tags": {"a", "b"}}) == canonical_params(
+            {"tags": {"b", "a"}}
+        )
+
+    def test_address_based_repr_rejected(self):
+        with pytest.raises(TypeError, match="not\\s+value-based"):
+            canonical_params({"bad": NoRepr()})
+
+
+class TestPointFingerprint:
+    def test_hex_digest_shape(self):
+        fp = point_fingerprint("t", BASE, 1, code_fp="c")
+        assert len(fp) == 64
+        assert int(fp, 16) >= 0
+
+    def test_stable_for_equal_inputs(self):
+        reordered = dict(reversed(list(BASE.items())))
+        assert point_fingerprint("t", BASE, 1, code_fp="c") == point_fingerprint(
+            "t", reordered, 1, code_fp="c"
+        )
+
+    def test_param_value_change_changes_key(self):
+        base = point_fingerprint("t", BASE, 1, code_fp="c")
+        changed = dict(BASE, total_ops=20_001)
+        assert point_fingerprint("t", changed, 1, code_fp="c") != base
+
+    def test_seed_change_changes_key(self):
+        assert point_fingerprint("t", BASE, 1, code_fp="c") != point_fingerprint(
+            "t", BASE, 2, code_fp="c"
+        )
+
+    def test_code_fp_change_changes_key(self):
+        assert point_fingerprint("t", BASE, 1, code_fp="c1") != point_fingerprint(
+            "t", BASE, 1, code_fp="c2"
+        )
+
+    def test_task_change_changes_key(self):
+        assert point_fingerprint("t1", BASE, 1, code_fp="c") != point_fingerprint(
+            "t2", BASE, 1, code_fp="c"
+        )
+
+
+class TestCodeFingerprint:
+    def test_memoized_and_stable(self):
+        a = code_fingerprint()
+        b = code_fingerprint()
+        assert a == b
+        assert len(a) == 64
+        assert code_fingerprint(refresh=True) == a  # source unchanged
+
+    def test_default_code_fp_used_by_point_fingerprint(self):
+        live = point_fingerprint("t", BASE, 1)
+        pinned = point_fingerprint("t", BASE, 1, code_fp=code_fingerprint())
+        assert live == pinned
+
+
+def test_task_name_is_import_path():
+    assert task_name(tasks.demo_point) == "repro.parallel.tasks.demo_point"

@@ -1,0 +1,223 @@
+"""Store robustness: corruption demotes to miss, LRU eviction, races."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cache import (
+    CACHE_DIR_ENV,
+    CACHE_MAX_BYTES_ENV,
+    DEFAULT_MAX_BYTES,
+    SweepCache,
+    default_cache_dir,
+)
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+FP_C = "c" * 64
+
+
+def _put(cache, fp, value="v"):
+    assert cache.put(fp, value, key="k", task="t", seed=1, elapsed_s=0.5)
+
+
+def _entry_path(cache, fp):
+    infos = [e for e in cache.entries() if e.fingerprint == fp]
+    assert len(infos) == 1
+    return infos[0].path
+
+
+def _racing_writer(root, fp, value, rounds):
+    """Module-level so spawn children can import it."""
+    cache = SweepCache(root=root)
+    for _ in range(rounds):
+        cache.put(fp, value, key="race", task="t", seed=7)
+
+
+class TestRoundTrip:
+    def test_put_then_lookup(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A, value={"mean": 1.5, "rows": [1, 2]})
+        entry = cache.lookup(FP_A)
+        assert entry is not None
+        assert entry.value == {"mean": 1.5, "rows": [1, 2]}
+        assert entry.key == "k" and entry.task == "t" and entry.seed == 1
+        assert entry.elapsed_s == 0.5
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_absent_is_miss(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        assert cache.lookup(FP_A) is None
+        assert cache.stats.misses == 1 and cache.stats.corrupted == 0
+
+    def test_unpicklable_value_is_store_failure(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        assert not cache.put(FP_A, lambda: None, key="k", task="t", seed=1)
+        assert cache.stats.store_failures == 1
+        assert len(cache) == 0
+
+
+class TestCorruption:
+    def test_truncated_entry_is_miss_not_raise(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A)
+        path = _entry_path(cache, FP_A)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        assert cache.lookup(FP_A) is None
+        assert cache.stats.corrupted == 1 and cache.stats.misses == 1
+        assert not os.path.exists(path)  # carcass removed
+
+    def test_bitflip_is_miss(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A)
+        path = _entry_path(cache, FP_A)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        assert cache.lookup(FP_A) is None
+        assert cache.stats.corrupted == 1
+
+    def test_bad_magic_is_miss(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A)
+        path = _entry_path(cache, FP_A)
+        with open(path, "wb") as fh:
+            fh.write(b"JUNK" + b"\0" * 40)
+        assert cache.lookup(FP_A) is None
+        assert cache.stats.corrupted == 1
+
+    def test_wrong_address_is_miss(self, tmp_path):
+        # A valid entry copied to the wrong fingerprint must not serve.
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A)
+        src = _entry_path(cache, FP_A)
+        dst = cache._path(FP_B)
+        os.makedirs(os.path.dirname(dst), exist_ok=True)
+        with open(src, "rb") as s, open(dst, "wb") as d:
+            d.write(s.read())
+        assert cache.lookup(FP_B) is None
+        assert cache.stats.corrupted == 1
+
+    def test_verify_reports_and_purges(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A)
+        _put(cache, FP_B)
+        path = _entry_path(cache, FP_B)
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        report = cache.verify()
+        assert report.checked == 2 and not report.ok
+        assert [fp for fp, _ in report.bad] == [FP_B]
+        assert os.path.exists(path)  # report-only scan keeps the file
+        purged = cache.verify(purge=True)
+        assert not purged.ok
+        assert not os.path.exists(path)
+        assert cache.verify().ok
+
+
+class TestEviction:
+    def test_lru_eviction_under_cap(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path), max_bytes=DEFAULT_MAX_BYTES)
+        payload = "x" * 4096
+        for i, fp in enumerate((FP_A, FP_B)):
+            _put(cache, fp, value=payload)
+            os.utime(_entry_path(cache, fp), (1000.0 + i, 1000.0 + i))
+        # Cap to roughly one entry; the next store evicts the oldest (A).
+        cache.max_bytes = _one_entry_cap(cache)
+        _put(cache, FP_C, value=payload)
+        survivors = {e.fingerprint for e in cache.entries()}
+        assert FP_C in survivors  # just-written entry is never self-evicted
+        assert FP_A not in survivors
+        assert cache.stats.evictions >= 1
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        payload = "x" * 4096
+        for i, fp in enumerate((FP_A, FP_B)):
+            _put(cache, fp, value=payload)
+            os.utime(_entry_path(cache, fp), (1000.0 + i, 1000.0 + i))
+        assert cache.lookup(FP_A) is not None  # bumps A's mtime to now
+        # Cap fits two entries: storing C must evict exactly one, and
+        # the freshly-touched A outlives the stale B.
+        sizes = [e.size for e in cache.entries()]
+        cache.max_bytes = sum(sizes) + min(sizes) // 2
+        _put(cache, FP_C, value=payload)
+        survivors = {e.fingerprint for e in cache.entries()}
+        assert FP_A in survivors and FP_B not in survivors
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A)
+        _put(cache, FP_B)
+        assert cache.clear() == 2
+        assert len(cache) == 0 and cache.size_bytes() == 0
+
+
+def _one_entry_cap(cache):
+    """A byte cap that fits one entry of this store but not two."""
+    sizes = sorted(e.size for e in cache.entries())
+    return sizes[-1] + sizes[0] // 2
+
+
+class TestConcurrency:
+    def test_racing_same_key_writers_leave_valid_entry(self, tmp_path):
+        root = str(tmp_path)
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_racing_writer, args=(root, FP_A, "payload", 25))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        cache = SweepCache(root=root)
+        entry = cache.lookup(FP_A)
+        assert entry is not None and entry.value == "payload"
+        assert cache.verify().ok
+        # No orphaned temp files left behind by the race.
+        leftovers = [
+            fn
+            for _, _, fns in os.walk(root)
+            for fn in fns
+            if fn.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+
+class TestConfiguration:
+    def test_default_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_dir() == str(tmp_path / "custom")
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == str(tmp_path / "xdg" / "repro" / "sweeps")
+
+    def test_max_bytes_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "12345")
+        assert SweepCache(root=str(tmp_path)).max_bytes == 12345
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "lots")
+        with pytest.raises(ConfigurationError):
+            SweepCache(root=str(tmp_path))
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            SweepCache(root=str(tmp_path))
+
+    def test_explicit_cap_must_be_positive(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepCache(root=str(tmp_path), max_bytes=0)
+
+    def test_stats_snapshot_shape(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        _put(cache, FP_A)
+        snap = cache.stats_snapshot()
+        assert snap["entries"] == 1
+        assert snap["total_bytes"] > 0
+        assert snap["root"] == cache.root
+        assert snap["max_bytes"] == cache.max_bytes

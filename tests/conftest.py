@@ -1,0 +1,19 @@
+"""Suite-wide fixtures.
+
+Every test gets a throwaway sweep-cache directory: CLI commands open
+the default :class:`repro.cache.SweepCache` unless ``--no-cache`` is
+passed, and without this redirect a test run would read (and pollute)
+the developer's real ``~/.cache/repro/sweeps`` store — warm entries
+there could even mask determinism regressions by serving stale values.
+"""
+
+import pytest
+
+from repro.cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv(
+        CACHE_DIR_ENV, str(tmp_path_factory.mktemp("sweep-cache"))
+    )

@@ -168,3 +168,70 @@ class TestSweepCommand:
         assert args.target == "overload"
         assert args.mode == "controlled"
         assert not args.json and not args.no_progress
+
+    def test_all_figure_targets_parse(self):
+        parser = build_parser()
+        for target in ("fig3", "fig4", "fig5", "fig7", "fig8", "fig10"):
+            args = parser.parse_args(["sweep", target, "--quick", "--seed", "7"])
+            assert args.target == target
+            assert args.quick and args.seed == 7
+
+
+class TestCacheFlag:
+    def test_no_cache_accepted_on_sweep_shaped_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["fig3", "--no-cache"],
+            ["fig5", "--quick", "--no-cache"],
+            ["overload", "sweep", "--no-cache"],
+            ["faults", "run", "device-flap", "--no-cache"],
+            ["sweep", "fig8", "--no-cache"],
+        ):
+            assert parser.parse_args(argv).no_cache
+
+    def test_cache_defaults_on(self):
+        assert not build_parser().parse_args(["fig5"]).no_cache
+
+    def test_tables_has_no_cache_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--no-cache"])
+
+
+class TestCacheCommand:
+    def test_parser_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_stats_on_empty_store(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "code fingerprint" in out
+
+    def test_stats_json_is_metrics_document(self, capsys):
+        import json
+
+        assert main(["cache", "stats", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.metrics/v1"
+        names = {m["name"] for m in doc["metrics"]}
+        assert {"sweep_cache_entries", "sweep_cache_bytes"} <= names
+
+    def test_clear_and_verify_roundtrip(self, capsys):
+        assert main(["cache", "verify"]) == 0
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+
+    def test_sweep_populates_default_store(self, capsys):
+        import os
+
+        from repro.cache import SweepCache
+
+        assert main(["faults", "run", "device-flap", "--app", "keydb",
+                     "--quick"]) == 0
+        cache = SweepCache()  # rooted at $REPRO_CACHE_DIR (see conftest)
+        assert cache.root == os.environ["REPRO_CACHE_DIR"]
+        assert len(cache) == 1
+        assert cache.verify().ok
+        assert main(["cache", "verify"]) == 0
+        capsys.readouterr()
