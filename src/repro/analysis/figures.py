@@ -110,6 +110,7 @@ def fig3_loaded_latency(
     load_points: int = 24,
     workers: Optional[int] = None,
     cache=None,
+    supervise=None,
 ) -> Dict[str, Dict[str, MlcCurve]]:
     """Fig. 3: loaded-latency curves for the four distances.
 
@@ -118,7 +119,8 @@ def fig3_loaded_latency(
     out across ``workers`` processes.
     """
     spec = fig3_sweep_spec(panels=panels, mixes=mixes, load_points=load_points)
-    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache,
+                      supervise=supervise).raise_failures()
     return {pr.key: pr.value for pr in sweep.results}
 
 
@@ -159,6 +161,7 @@ def fig4_path_comparison(
     load_points: int = 24,
     workers: Optional[int] = None,
     cache=None,
+    supervise=None,
 ) -> Dict[str, Dict[str, Dict[str, MlcCurve]]]:
     """Fig. 4: per-mix comparison of all distances, both patterns.
 
@@ -171,7 +174,8 @@ def fig4_path_comparison(
         patterns=patterns,
         load_points=load_points,
     )
-    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache,
+                      supervise=supervise).raise_failures()
     out: Dict[str, Dict[str, Dict[str, MlcCurve]]] = {}
     for point, pr in zip(spec.points, sweep.results):
         pattern = point.params["pattern"]
@@ -256,6 +260,7 @@ def fig5_keydb(
     seed: int = 0xC0FFEE,
     workers: Optional[int] = None,
     cache=None,
+    supervise=None,
 ) -> Fig5Result:
     """Fig. 5: run every (workload, configuration) cell."""
     spec = fig5_sweep_spec(
@@ -265,7 +270,8 @@ def fig5_keydb(
         total_ops=total_ops,
         seed=seed,
     )
-    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache,
+                      supervise=supervise).raise_failures()
     result = Fig5Result()
     for point, pr in zip(spec.points, sweep.results):
         workload = point.params["workload"]
@@ -291,11 +297,12 @@ def fig7_sweep_spec(
 
 
 def fig7_spark(
-    workers: Optional[int] = None, cache=None
+    workers: Optional[int] = None, cache=None, supervise=None
 ) -> Dict[str, Dict[str, QueryResult]]:
     """Fig. 7: every Spark configuration x every TPC-H query."""
     spec = fig7_sweep_spec()
-    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache,
+                      supervise=supervise).raise_failures()
     return {pr.key: pr.value for pr in sweep.results}
 
 
@@ -352,12 +359,14 @@ def fig8_cxl_only(
     seed: int = 0xC0FFEE,
     workers: Optional[int] = None,
     cache=None,
+    supervise=None,
 ) -> Fig8Result:
     """Fig. 8: the §4.3 numactl-bound YCSB-C pair."""
     spec = fig8_sweep_spec(
         record_count=record_count, total_ops=total_ops, seed=seed
     )
-    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache,
+                      supervise=supervise).raise_failures()
     return Fig8Result(mmem=sweep.value("mmem"), cxl=sweep.value("cxl"))
 
 
@@ -406,10 +415,12 @@ def fig10_llm(
     fig10c_kv_gib: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
     workers: Optional[int] = None,
     cache=None,
+    supervise=None,
 ) -> Fig10Result:
     """Fig. 10(a)-(c): serving-rate sweep plus both bandwidth probes."""
     spec = fig10_sweep_spec(backend_counts=backend_counts)
-    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache,
+                      supervise=supervise).raise_failures()
     serving = {pr.key: pr.value for pr in sweep.results}
     probe = LlmServingExperiment("mmem")
     fig10b = [(t, probe.fig10b_bandwidth_gbps(t)) for t in fig10b_threads]

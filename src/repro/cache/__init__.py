@@ -8,7 +8,9 @@ fingerprint of exactly its inputs plus a *code fingerprint* of the
 
 * a warm re-run of the same sweep executes **zero** points and its
   merged ``repro.metrics/v1`` export is byte-identical to the cold run;
-* an interrupted sweep resumes from the last persisted point;
+* an interrupted sweep resumes from the last persisted point, and a
+  drained (SIGINT/SIGTERM) run leaves a :mod:`~repro.cache.manifest`
+  documenting what completed and why it stopped;
 * editing any simulator source, any param, or the seed changes the
   fingerprint and the stale entry is simply never addressed again.
 
@@ -29,6 +31,15 @@ from .fingerprint import (
     point_fingerprint,
     task_name,
 )
+from .manifest import (
+    MANIFEST_SCHEMA,
+    ResumeManifest,
+    clear_resume_manifest,
+    list_resume_manifests,
+    load_resume_manifest,
+    manifest_path,
+    write_resume_manifest,
+)
 from .obs import register_cache_stats, register_store_snapshot, register_sweep_result
 from .store import (
     CACHE_DIR_ENV,
@@ -47,6 +58,13 @@ __all__ = [
     "CACHE_MAX_BYTES_ENV",
     "DEFAULT_MAX_BYTES",
     "FINGERPRINT_VERSION",
+    "MANIFEST_SCHEMA",
+    "ResumeManifest",
+    "clear_resume_manifest",
+    "list_resume_manifests",
+    "load_resume_manifest",
+    "manifest_path",
+    "write_resume_manifest",
     "CacheEntry",
     "CacheStats",
     "EntryInfo",

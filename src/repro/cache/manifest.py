@@ -1,0 +1,157 @@
+"""Resume manifests: what an interrupted sweep left behind.
+
+The content-addressed store already makes interrupted sweeps resumable
+— every completed point was persisted before the interrupt, and the
+next run serves them as hits.  The manifest adds the *accounting* a
+human (or orchestrator) needs between those two runs: which sweep was
+cut short, why, and how far it got, without deserializing a single
+cache entry.
+
+One JSON document per sweep name under ``<cache root>/manifests/``,
+written atomically on SIGINT/SIGTERM drain and removed again by the
+next run of the same sweep that completes.  Manifests are host-side
+metadata in the same class as ``cache_stats`` — they never feed merged
+``repro.metrics/v1`` exports.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .store import SweepCache
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "ResumeManifest",
+    "manifest_path",
+    "write_resume_manifest",
+    "load_resume_manifest",
+    "clear_resume_manifest",
+    "list_resume_manifests",
+]
+
+MANIFEST_SCHEMA = "repro.manifest/v1"
+
+_MANIFEST_DIR = "manifests"
+
+
+@dataclass(frozen=True)
+class ResumeManifest:
+    """A record of one interrupted sweep."""
+
+    #: The sweep's :attr:`~repro.parallel.jobs.SweepSpec.name`.
+    name: str
+    base_seed: int
+    #: Points in the spec.
+    total: int
+    #: Keys of the points completed (and persisted) before the drain.
+    completed: Tuple[str, ...]
+    #: What cut the run short (``SIGINT``/``SIGTERM``/``interrupt``).
+    reason: str
+    #: Worker count of the interrupted run.
+    workers: int
+
+    @property
+    def remaining(self) -> int:
+        """Points the resuming run still has to execute."""
+        return self.total - len(self.completed)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "name": self.name,
+            "base_seed": self.base_seed,
+            "total": self.total,
+            "completed": list(self.completed),
+            "reason": self.reason,
+            "workers": self.workers,
+        }
+
+
+def manifest_path(cache: "SweepCache", name: str) -> str:
+    """Where ``name``'s manifest lives under ``cache``'s root."""
+    return os.path.join(cache.root, _MANIFEST_DIR, f"{name}.json")
+
+
+def write_resume_manifest(cache: "SweepCache", manifest: ResumeManifest) -> str:
+    """Atomically publish ``manifest``; returns its path.
+
+    Same mkstemp + :func:`os.replace` discipline as the store itself: a
+    drain racing a reader can only ever leave a complete document.
+    """
+    path = manifest_path(cache, manifest.name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=manifest.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(manifest.as_dict(), fh, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_resume_manifest(cache: "SweepCache", name: str) -> Optional[ResumeManifest]:
+    """The manifest for ``name``, or ``None``.
+
+    A malformed manifest (truncated write on a dying host, foreign
+    schema) is treated like a missing one — the cache itself still
+    resumes the sweep; only the accounting is lost.
+    """
+    try:
+        with open(manifest_path(cache, name)) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if doc.get("schema") != MANIFEST_SCHEMA:
+        return None
+    try:
+        return ResumeManifest(
+            name=doc["name"],
+            base_seed=int(doc["base_seed"]),
+            total=int(doc["total"]),
+            completed=tuple(str(k) for k in doc["completed"]),
+            reason=str(doc["reason"]),
+            workers=int(doc["workers"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def clear_resume_manifest(cache: "SweepCache", name: str) -> bool:
+    """Remove ``name``'s manifest; True if one existed."""
+    try:
+        os.remove(manifest_path(cache, name))
+    except OSError:
+        return False
+    return True
+
+
+def list_resume_manifests(cache: "SweepCache") -> List[ResumeManifest]:
+    """Every readable manifest under ``cache``, sorted by sweep name."""
+    directory = os.path.join(cache.root, _MANIFEST_DIR)
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    manifests = []
+    for filename in names:
+        if not filename.endswith(".json"):
+            continue
+        manifest = load_resume_manifest(cache, filename[: -len(".json")])
+        if manifest is not None:
+            manifests.append(manifest)
+    return manifests

@@ -76,7 +76,8 @@ def register_sweep_result(registry: Any, sweep: "SweepResult") -> None:
 
     ``sweep_point_elapsed_s{sweep=,point=,cached=}`` gauges (0.0 for a
     cache-served point: no execution happened), plus the sweep's cache
-    counters when it ran with a cache attached.
+    counters when it ran with a cache attached and its runner health
+    counters when the supervised runner recorded any.
     """
     from ..obs.registry import Sample
 
@@ -97,4 +98,10 @@ def register_sweep_result(registry: Any, sweep: "SweepResult") -> None:
     if sweep.cache_stats is not None:
         register_cache_stats(
             registry, sweep.cache_stats, labels={"sweep": sweep.name}
+        )
+    if sweep.runner_health is not None:
+        from ..parallel.obs import register_runner_health
+
+        register_runner_health(
+            registry, sweep.runner_health, labels={"sweep": sweep.name}
         )

@@ -24,8 +24,14 @@ paper-style rows/series::
 
 Sweep-shaped commands (figures, ``overload sweep``, ``faults run``,
 ``sweep``) take ``--workers N`` to fan independent points across
-processes; ``$REPRO_WORKERS`` sets the default.  Parallel results are
-bit-identical to serial ones.
+supervised processes; ``$REPRO_WORKERS`` sets the default.  Parallel
+results are bit-identical to serial ones.  The same commands take
+``--point-timeout S`` (kill and retry a point past its deadline),
+``--retries N`` (bounded retry of crashes, deadline kills and
+transient errors, with exponential backoff) and ``--fail-fast``; when
+anything was retried, killed or quarantined, a one-line health summary
+lands on stderr.  Ctrl-C drains gracefully: completed points persist
+to the cache, a resume manifest records the cut, and exit is 130.
 
 The same commands memoize completed points in a content-addressed
 on-disk cache (``$REPRO_CACHE_DIR``, default ``~/.cache/repro/sweeps``):
@@ -76,10 +82,37 @@ def _open_cache(args: argparse.Namespace):
     return SweepCache()
 
 
+def _supervise(args: argparse.Namespace):
+    """The supervisor policy for one sweep-shaped command's flags."""
+    from .parallel.supervisor import SupervisorConfig
+
+    return SupervisorConfig(
+        point_timeout_s=getattr(args, "point_timeout", None),
+        max_attempts=max(1, getattr(args, "retries", 2) + 1),
+        fail_fast=getattr(args, "fail_fast", False),
+    )
+
+
+def _health_note(tag: str) -> None:
+    """One stderr line of robustness telemetry, only when eventful.
+
+    Health is sidecar metadata (like cache stats): it never touches the
+    command's stdout artifact, and a clean run prints nothing.
+    """
+    from .parallel import last_run_health
+
+    health = last_run_health()
+    if health is not None and health.any:
+        print(f"[{tag}] health: {health.summary()}",
+              file=sys.stderr, flush=True)
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
     panels = fig3_loaded_latency(load_points=8 if args.quick else 24,
                                  workers=args.workers,
-                                 cache=_open_cache(args))
+                                 cache=_open_cache(args),
+                                 supervise=_supervise(args))
+    _health_note("fig3")
     for panel, curves in panels.items():
         rows = [
             (mix, f"{c.idle_latency_ns:.1f}", f"{c.peak_bandwidth_gbps:.1f}")
@@ -92,7 +125,9 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 def _cmd_fig4(args: argparse.Namespace) -> int:
     data = fig4_path_comparison(load_points=8 if args.quick else 24,
                                 workers=args.workers,
-                                cache=_open_cache(args))
+                                cache=_open_cache(args),
+                                supervise=_supervise(args))
+    _health_note("fig4")
     for pattern, per_mix in data.items():
         rows = []
         for mix, panels in per_mix.items():
@@ -111,7 +146,9 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     scale = (16_384, 20_000) if args.quick else (65_536, 100_000)
     result = fig5_keydb(record_count=scale[0], total_ops=scale[1],
-                        workers=args.workers, cache=_open_cache(args))
+                        workers=args.workers, cache=_open_cache(args),
+                        supervise=_supervise(args))
+    _health_note("fig5")
     rows = []
     for config, per_wl in result.throughput_table():
         rows.append([config] + [f"{per_wl[w]:.0f}" for w in ("A", "B", "C", "D")])
@@ -121,7 +158,9 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    results = fig7_spark(workers=args.workers, cache=_open_cache(args))
+    results = fig7_spark(workers=args.workers, cache=_open_cache(args),
+                         supervise=_supervise(args))
+    _health_note("fig7")
     base = {q: r.total_ns for q, r in results["mmem"].items()}
     rows = []
     for name, per_query in results.items():
@@ -138,7 +177,9 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 def _cmd_fig8(args: argparse.Namespace) -> int:
     scale = (20_480, 20_000) if args.quick else (102_400, 150_000)
     pair = fig8_cxl_only(record_count=scale[0], total_ops=scale[1],
-                         workers=args.workers, cache=_open_cache(args))
+                         workers=args.workers, cache=_open_cache(args),
+                         supervise=_supervise(args))
+    _health_note("fig8")
     print(
         ascii_table(
             ["quantity", "value"],
@@ -156,7 +197,9 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
-    result = fig10_llm(workers=args.workers, cache=_open_cache(args))
+    result = fig10_llm(workers=args.workers, cache=_open_cache(args),
+                       supervise=_supervise(args))
+    _health_note("fig10")
     configs = list(result.serving)
     rows = []
     for point in result.serving["mmem"]:
@@ -256,10 +299,12 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
         spec = fault_sweep_spec(
             args.scenario, apps=apps, seed=args.seed, quick=args.quick
         )
-        sweep = run_sweep(spec, workers=args.workers, cache=_open_cache(args))
+        sweep = run_sweep(spec, workers=args.workers, cache=_open_cache(args),
+                          supervise=_supervise(args))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _health_note(f"faults {args.scenario}")
     for failure in sweep.failures():
         print(f"error: point {failure.key!r} failed: "
               f"{failure.error.type}: {failure.error.message}", file=sys.stderr)
@@ -314,10 +359,12 @@ def _cmd_overload_sweep(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 cache=_open_cache(args),
+                supervise=_supervise(args),
             )
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        _health_note("overload sweep")
         if args.json:
             payload.extend(s.as_dict() for s in summaries)
             continue
@@ -470,51 +517,70 @@ def _sweep_progress(done: int, total: int, result) -> None:
 SWEEP_TARGETS = ("fig3", "fig4", "fig5", "fig7", "fig8", "fig10", "overload")
 
 
-def _sweep_spec(args: argparse.Namespace):
-    """The observed sweep spec for one CLI target, at the --quick scale."""
-    quick = args.quick
-    if args.target == "fig3":
+def stock_sweep_spec(
+    target: str,
+    quick: bool = False,
+    seed: int = 0xC0FFEE,
+    mode: str = "controlled",
+):
+    """The observed sweep spec for one stock target, at a scale.
+
+    Shared by ``repro sweep`` and the chaos harness
+    (``python -m repro.parallel.chaos``) so both execute the exact same
+    points — which is what makes their exports byte-comparable.
+    """
+    if target == "fig3":
         from .analysis.figures import fig3_sweep_spec
 
         return fig3_sweep_spec(load_points=8 if quick else 24,
-                               seed=args.seed, observed=True)
-    if args.target == "fig4":
+                               seed=seed, observed=True)
+    if target == "fig4":
         from .analysis.figures import fig4_sweep_spec
 
         return fig4_sweep_spec(load_points=8 if quick else 24,
-                               seed=args.seed, observed=True)
-    if args.target == "fig5":
+                               seed=seed, observed=True)
+    if target == "fig5":
         from .analysis.figures import fig5_sweep_spec
 
         scale = (16_384, 20_000) if quick else (65_536, 100_000)
         return fig5_sweep_spec(record_count=scale[0], total_ops=scale[1],
-                               seed=args.seed, observed=True)
-    if args.target == "fig7":
+                               seed=seed, observed=True)
+    if target == "fig7":
         from .analysis.figures import fig7_sweep_spec
 
-        return fig7_sweep_spec(seed=args.seed, observed=True)
-    if args.target == "fig8":
+        return fig7_sweep_spec(seed=seed, observed=True)
+    if target == "fig8":
         from .analysis.figures import fig8_sweep_spec
 
         scale = (20_480, 20_000) if quick else (102_400, 150_000)
         return fig8_sweep_spec(record_count=scale[0], total_ops=scale[1],
-                               seed=args.seed, observed=True)
-    if args.target == "fig10":
+                               seed=seed, observed=True)
+    if target == "fig10":
         from .analysis.figures import fig10_sweep_spec
 
         return fig10_sweep_spec(
             backend_counts=(1, 2, 3) if quick else (1, 2, 3, 4, 5, 6),
-            seed=args.seed, observed=True,
+            seed=seed, observed=True,
         )
-    # overload
-    from .overload.runner import offered_load_sweep_spec
+    if target == "overload":
+        from .overload.runner import offered_load_sweep_spec
 
-    return offered_load_sweep_spec(
-        controlled=args.mode == "controlled",
-        duration_ns=20e6 if quick else 40e6,
-        record_count=4096 if quick else 16_384,
-        seed=args.seed,
-        observed=True,
+        return offered_load_sweep_spec(
+            controlled=mode == "controlled",
+            duration_ns=20e6 if quick else 40e6,
+            record_count=4096 if quick else 16_384,
+            seed=seed,
+            observed=True,
+        )
+    raise ConfigurationError(
+        f"unknown sweep target {target!r}; expected one of {SWEEP_TARGETS}"
+    )
+
+
+def _sweep_spec(args: argparse.Namespace):
+    """The observed sweep spec for one CLI invocation's flags."""
+    return stock_sweep_spec(
+        args.target, quick=args.quick, seed=args.seed, mode=args.mode
     )
 
 
@@ -528,18 +594,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec = _sweep_spec(args)
         progress = None if args.no_progress else _sweep_progress
         sweep = run_sweep(spec, workers=args.workers, progress=progress,
-                          cache=_open_cache(args))
+                          cache=_open_cache(args),
+                          supervise=_supervise(args))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     for failure in sweep.failures():
         print(f"error: point {failure.key!r} failed: "
               f"{failure.error.type}: {failure.error.message}", file=sys.stderr)
-    if not sweep.ok:
-        return 1
     print(f"[sweep {spec.name}] {len(sweep.results)} points, "
           f"{sweep.workers} worker(s), {sweep.elapsed_s:.1f}s",
           file=sys.stderr, flush=True)
+    health = sweep.runner_health
+    if health is not None:
+        print(f"[sweep {spec.name}] health: {health.summary()}",
+              file=sys.stderr, flush=True)
+    if not sweep.ok:
+        return 1
     cs = sweep.cache_stats
     if cs is not None:
         print(f"[sweep {spec.name}] cache: {cs.hits} hits, "
@@ -649,6 +720,20 @@ def _positive_workers(text: str) -> int:
     return value
 
 
+def _nonnegative_retries(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("retries must be >= 0")
+    return value
+
+
+def _positive_timeout(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("point timeout must be > 0 seconds")
+    return value
+
+
 def _add_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=_positive_workers, default=None, metavar="N",
@@ -660,6 +745,21 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="skip the content-addressed result cache "
              "($REPRO_CACHE_DIR, default ~/.cache/repro/sweeps)",
+    )
+    parser.add_argument(
+        "--point-timeout", type=_positive_timeout, default=None, metavar="S",
+        help="per-attempt wall-clock deadline in seconds; a point past "
+             "it is killed and retried (default: none)",
+    )
+    parser.add_argument(
+        "--retries", type=_nonnegative_retries, default=2, metavar="N",
+        help="extra attempts for a point after a retryable failure — "
+             "crash, deadline kill, transient error (default: 2)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop dispatching new points after the first point "
+             "exhausts its attempts (in-flight points still land)",
     )
 
 
@@ -819,6 +919,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # surfaces as a one-line error, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt as exc:
+        # A drained sweep: completed points are already persisted and a
+        # resume manifest written; rerunning the command picks up there.
+        note = f": {exc}" if str(exc) else ""
+        print(f"interrupted{note}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

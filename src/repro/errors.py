@@ -13,6 +13,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "TransientError",
+    "is_retryable",
     "TopologyError",
     "CapacityError",
     "SimulationError",
@@ -140,6 +142,37 @@ class DeadlineExceededError(OverloadError):
             message
             or f"deadline {deadline_ns:.0f} ns exceeded at t={now_ns:.0f} ns"
         )
+
+
+class TransientError(ReproError):
+    """A failure expected to clear on retry with the same inputs.
+
+    The marker the *harness* (sweep runner, chaos injection, external
+    resources) uses where the simulation layer uses :class:`FaultError`:
+    raising it tells :func:`is_retryable` callers the operation may be
+    re-attempted verbatim.  Tasks that wrap flaky external effects
+    (filesystems, subprocesses) should raise this rather than a bare
+    ``RuntimeError`` so the runner retries instead of quarantining.
+    """
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether re-running the failed operation unchanged could succeed.
+
+    The transient-vs-permanent classification shared by the simulation
+    retry policies and the sweep runner:
+
+    * :class:`TransientError` — the explicit harness-level marker;
+    * :class:`FaultError` — injected RAS conditions, the same family
+      :func:`repro.faults.retry.retry_call` retries inside the sims;
+    * ``OSError``/``MemoryError`` — environmental pressure (fd limits,
+      OOM) that another attempt on a fresh worker may not hit.
+
+    Everything else — ``ValueError``, assertion failures, programming
+    errors — is permanent: re-running a deterministic task on the same
+    ``(params, seed)`` would only fail identically.
+    """
+    return isinstance(exc, (TransientError, FaultError, OSError, MemoryError))
 
 
 class RetryExhaustedError(FaultError):

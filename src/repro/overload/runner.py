@@ -298,6 +298,7 @@ def sweep_offered_load(
     discipline: QueueDiscipline = QueueDiscipline.FIFO,
     workers: Optional[int] = None,
     cache=None,
+    supervise=None,
 ) -> List[OverloadRunSummary]:
     """Offered load vs goodput: sweep factors of the calibrated capacity.
 
@@ -320,7 +321,8 @@ def sweep_offered_load(
     )
     from ..parallel import run_sweep
 
-    sweep = run_sweep(spec, workers=workers, cache=cache).raise_failures()
+    sweep = run_sweep(spec, workers=workers, cache=cache,
+                      supervise=supervise).raise_failures()
     return list(sweep.values())
 
 

@@ -8,21 +8,34 @@ results **bit-identical** to a serial run:
 
 * :mod:`repro.parallel.jobs` — the :class:`SweepSpec`/:class:`SweepPoint`
   /:class:`PointResult` job model with per-point derived seeds;
-* :mod:`repro.parallel.runner` — :func:`run_sweep`: spawn-safe
-  ``multiprocessing`` fan-out with failure isolation, ``workers=1``
-  falling back to in-process execution with zero behavior change,
-  worker count from ``--workers`` or ``$REPRO_WORKERS``;
+* :mod:`repro.parallel.runner` — :func:`run_sweep`: ``workers=1``
+  in-process execution (zero behavior change when nothing fails) or
+  fan-out over the supervised worker pool, worker count from
+  ``--workers`` or ``$REPRO_WORKERS``;
+* :mod:`repro.parallel.supervisor` — the supervised execution layer:
+  spawn workers with heartbeat liveness, crash detection and
+  re-dispatch, per-point deadlines, bounded retry with exponential
+  backoff, quarantine, and graceful SIGINT/SIGTERM drain
+  (:class:`SupervisorConfig`, :class:`RunnerHealth`);
+* :mod:`repro.parallel.chaos` — fault injection for the runner itself:
+  real worker kills, hangs past the deadline, transient exceptions and
+  at-rest cache corruption, with a byte-identity guarantee against
+  clean runs;
 * :mod:`repro.parallel.merge` — merging per-point ``repro.metrics/v1``
   snapshots into the existing exporters, in spec order;
+* :mod:`repro.parallel.obs` — runner health as lazy sidecar collectors;
 * :mod:`repro.parallel.tasks` — the stock spawn-importable tasks behind
   the figure benchmarks, ``repro overload sweep``, the fault catalog and
   ``repro sweep``.
 
-See ``docs/architecture.md`` ("Parallel experiment runner") for the
-determinism contract.
+See ``docs/architecture.md`` ("Parallel experiment runner" and "Runner
+robustness") for the determinism contract and the failure model.
 """
 
-from . import tasks
+# NB: .chaos is deliberately not imported here — it is `python -m
+# repro.parallel.chaos`'s __main__, and an eager package-level import
+# would make runpy re-execute it with a RuntimeWarning.
+from . import supervisor, tasks
 from .jobs import (
     PointError,
     PointResult,
@@ -37,7 +50,9 @@ from .merge import (
     merged_metrics_json,
     register_point_samples,
 )
-from .runner import WORKERS_ENV, resolve_workers, run_sweep
+from .obs import register_runner_health
+from .runner import WORKERS_ENV, last_run_health, resolve_workers, run_sweep
+from .supervisor import RunnerHealth, SupervisorConfig, current_attempt
 
 __all__ = [
     "derive_seed",
@@ -47,11 +62,17 @@ __all__ = [
     "PointResult",
     "SweepResult",
     "SweepExecutionError",
+    "SupervisorConfig",
+    "RunnerHealth",
+    "current_attempt",
     "merge_metrics_documents",
     "merged_metrics_json",
     "register_point_samples",
+    "register_runner_health",
     "WORKERS_ENV",
+    "last_run_health",
     "resolve_workers",
     "run_sweep",
+    "supervisor",
     "tasks",
 ]

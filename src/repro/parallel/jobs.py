@@ -30,8 +30,9 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, 
 from ..errors import ConfigurationError
 from ..sim.rng import DEFAULT_SEED
 
-if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..cache.store import CacheStats
+    from .supervisor import RunnerHealth
 
 __all__ = [
     "derive_seed",
@@ -138,19 +139,31 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class PointError:
-    """A structured record of one crashed point (the sweep continues)."""
+    """A structured record of one failed point (the sweep continues).
+
+    ``attempts`` is how many times the supervised runner executed the
+    point before giving up (1 when the first failure was permanent), and
+    ``retryable`` is the transient-vs-permanent verdict of
+    :func:`repro.errors.is_retryable` on the last failure — a point that
+    arrives here with ``retryable=True`` exhausted its retry budget and
+    was *quarantined* rather than abandoned on first contact.
+    """
 
     type: str
     message: str
     traceback: str
+    attempts: int = 1
+    retryable: bool = False
 
-    def as_dict(self) -> Dict[str, str]:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form."""
         return {"type": self.type, "message": self.message,
-                "traceback": self.traceback}
+                "traceback": self.traceback, "attempts": self.attempts,
+                "retryable": self.retryable}
 
     def __str__(self) -> str:
-        return f"{self.type}: {self.message}"
+        suffix = f" (after {self.attempts} attempts)" if self.attempts > 1 else ""
+        return f"{self.type}: {self.message}{suffix}"
 
 
 @dataclass
@@ -209,6 +222,11 @@ class SweepResult:
     elapsed_s: float = 0.0
     #: Cache counter deltas for this run (None when run without a cache).
     cache_stats: Optional["CacheStats"] = None
+    #: Runner robustness telemetry — retries, timeouts, crashes, worker
+    #: restarts.  Sidecar metadata like :attr:`cache_stats`: host-level
+    #: incident counts, deliberately excluded from merged exports (a run
+    #: that retried must export byte-identically to one that did not).
+    runner_health: Optional["RunnerHealth"] = None
 
     @property
     def ok(self) -> bool:

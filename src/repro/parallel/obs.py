@@ -1,0 +1,49 @@
+"""Runner robustness telemetry as lazy ``repro.obs`` collectors.
+
+Same shape as :mod:`repro.cache.obs`: a callback registered on a
+:class:`~repro.obs.registry.MetricsRegistry` that emits samples at
+snapshot time.  Retry counts, deadline kills, worker restarts and
+quarantines are **host-side** facts — they vary with machine load and
+fault history while the point values do not — so like ``cache_stats``
+they are deliberately absent from merged ``repro.metrics/v1`` exports
+and surface only through sidecar snapshots and the CLI's stderr health
+summary lines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .supervisor import RunnerHealth
+
+__all__ = ["register_runner_health"]
+
+
+def register_runner_health(
+    registry: Any, health: "RunnerHealth", labels: Any = None
+) -> None:
+    """Export a sweep's robustness counters as a lazy collector.
+
+    Samples: ``sweep_runner_retries`` / ``_transient_errors`` /
+    ``_timeouts`` / ``_crashes`` / ``_unresponsive`` /
+    ``_worker_restarts`` / ``_quarantined`` / ``_drained`` (counters).
+    """
+    from ..obs.registry import Sample
+
+    base = dict(labels or {})
+
+    def collect():
+        for name, value in (
+            ("sweep_runner_retries", health.retries),
+            ("sweep_runner_transient_errors", health.transient_errors),
+            ("sweep_runner_timeouts", health.timeouts),
+            ("sweep_runner_crashes", health.crashes),
+            ("sweep_runner_unresponsive", health.unresponsive),
+            ("sweep_runner_worker_restarts", health.worker_restarts),
+            ("sweep_runner_quarantined", health.quarantined),
+            ("sweep_runner_drained", health.drained),
+        ):
+            yield Sample(name, "counter", dict(base), float(value))
+
+    registry.register_collector(collect)

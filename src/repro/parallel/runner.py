@@ -1,20 +1,28 @@
-"""Deterministic fan-out of sweep points across worker processes.
+"""Deterministic fan-out of sweep points across supervised workers.
 
 :func:`run_sweep` executes a :class:`~repro.parallel.jobs.SweepSpec`
 either in-process (``workers=1``, byte-for-byte the historical serial
-behavior) or across a spawn-context ``multiprocessing.Pool``.  The
-determinism contract:
+behavior when nothing fails) or across supervised worker processes (see
+:mod:`repro.parallel.supervisor`).  The determinism contract:
 
 * every point's seed and params are fixed in the spec before execution,
-  so a point's value never depends on which worker ran it or when;
+  so a point's value never depends on which worker ran it, when, or on
+  which attempt;
 * results are re-ordered into spec order regardless of completion order;
-* host wall-clock never enters point values (it is carried separately as
-  metadata), so merged exports are bit-identical across worker counts.
+* host wall-clock and robustness telemetry (retries, timeouts, worker
+  restarts) never enter point values — they travel as sidecar metadata
+  (``elapsed_s``, ``cache_stats``, ``runner_health``) — so merged
+  exports are bit-identical across worker counts and failure histories.
 
-Failure isolation: a point that raises records a structured
-:class:`~repro.parallel.jobs.PointError` — type, message, traceback —
-and the sweep continues.  A worker returning an unpicklable value is
-converted into a failed point rather than wedging the pool.
+Failure handling: a point that raises records a structured
+:class:`~repro.parallel.jobs.PointError` — type, message, traceback,
+attempts, retryable — and the sweep continues.  Retryable failures
+(:func:`repro.errors.is_retryable`: crashes, deadline kills,
+``TransientError``/``FaultError``, OS pressure) are re-dispatched with
+exponential backoff up to ``SupervisorConfig.max_attempts``, then
+quarantined.  A worker returning an unpicklable value — or a point
+whose *params* won't pickle into a worker — is demoted to a per-point
+failure rather than wedging or aborting the run.
 
 Worker count resolution (first match wins): the explicit ``workers``
 argument, the ``REPRO_WORKERS`` environment variable, then 1.
@@ -24,32 +32,55 @@ and every point is first looked up by its content fingerprint — hits are
 served without executing (``PointResult.cached``), misses execute and
 are persisted **immediately on completion**, before the progress
 callback fires, so a sweep killed mid-run resumes from the last
-completed point on the next invocation.  Cached values are the exact
-objects a cold run produces, so merged exports stay byte-identical
-between cold and warm runs.
+completed point on the next invocation.  An interrupted run (SIGINT or
+SIGTERM) additionally drains gracefully: workers are torn down, every
+completed point is already in the cache, and a resume manifest is
+written next to the store (see :mod:`repro.cache.manifest`) before the
+``KeyboardInterrupt`` propagates.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 import time
-import traceback
-from typing import TYPE_CHECKING, Any, Callable, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from ..errors import ConfigurationError
-from .jobs import PointError, PointResult, SweepResult, SweepSpec
+from .jobs import PointResult, SweepResult, SweepSpec
+from .supervisor import (
+    RunnerHealth,
+    SupervisorConfig,
+    SweepDrained,
+    _classified_execute,
+    _set_context,
+    run_supervised,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..cache.store import SweepCache
 
-__all__ = ["WORKERS_ENV", "resolve_workers", "run_sweep"]
+__all__ = [
+    "WORKERS_ENV",
+    "last_run_health",
+    "resolve_workers",
+    "run_sweep",
+]
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
 
 #: ``progress(done, total, result)`` callback signature.
 ProgressFn = Callable[[int, int, PointResult], None]
+
+#: Health of the most recent :func:`run_sweep` in this process — a
+#: sidecar channel for callers (the figure runners, the CLI) that
+#: consume domain objects rather than the :class:`SweepResult` itself.
+_LAST_HEALTH: Optional[RunnerHealth] = None
+
+
+def last_run_health() -> Optional[RunnerHealth]:
+    """Robustness telemetry of this process's most recent sweep."""
+    return _LAST_HEALTH
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -69,98 +100,39 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
-def _execute_point(
-    task: Callable[[Mapping[str, Any], int], Any],
-    key: str,
-    index: int,
-    params: Mapping[str, Any],
-    seed: int,
-) -> PointResult:
-    """Run one point, converting any crash into a structured error."""
-    started = time.perf_counter()
-    try:
-        value = task(dict(params), seed)
-    except Exception as exc:
-        return PointResult(
-            key=key,
-            index=index,
-            seed=seed,
-            params=dict(params),
-            ok=False,
-            error=PointError(
-                type=type(exc).__name__,
-                message=str(exc),
-                traceback=traceback.format_exc(),
-            ),
-            elapsed_s=time.perf_counter() - started,
-        )
-    return PointResult(
-        key=key,
-        index=index,
-        seed=seed,
-        params=dict(params),
-        ok=True,
-        value=value,
-        elapsed_s=time.perf_counter() - started,
-    )
-
-
-def _worker_run(
-    payload: Tuple[Callable[[Mapping[str, Any], int], Any], str, int,
-                   Mapping[str, Any], int],
-) -> PointResult:
-    """Pool entry point: execute one point inside a spawned worker.
-
-    The result crosses the process boundary by pickle; an unpicklable
-    value would otherwise raise in the *parent's* result iterator and
-    abort the whole sweep, so picklability is checked here and demoted
-    to a per-point failure.
-    """
-    task, key, index, params, seed = payload
-    result = _execute_point(task, key, index, params, seed)
-    if result.ok:
-        try:
-            pickle.dumps(result.value)
-        except Exception as exc:
-            result = PointResult(
-                key=key,
-                index=index,
-                seed=seed,
-                params=dict(params),
-                ok=False,
-                error=PointError(
-                    type="UnpicklableResult",
-                    message=f"task returned an unpicklable value: {exc}",
-                    traceback="",
-                ),
-                elapsed_s=result.elapsed_s,
-            )
-    return result
-
-
 def run_sweep(
     spec: SweepSpec,
     workers: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
     cache: Optional["SweepCache"] = None,
+    supervise: Optional[SupervisorConfig] = None,
 ) -> SweepResult:
     """Execute every point of ``spec``; results come back in spec order.
 
     ``workers=1`` (the default when ``REPRO_WORKERS`` is unset) runs the
-    points in-process with zero behavioral difference from a plain loop.
-    ``workers>1`` fans the points out over a spawn-context pool sized
-    ``min(workers, misses)``.  ``progress`` is invoked in the parent, in
-    completion order, after each point lands.
+    points in-process — with zero behavioral difference from a plain
+    loop when nothing fails, plus the same bounded retry of retryable
+    errors the supervised path applies.  ``workers>1`` fans the points
+    out over supervised spawn processes sized ``min(workers, misses)``
+    with heartbeat liveness, crash re-dispatch, per-point deadlines and
+    quarantine (see :class:`~repro.parallel.supervisor.SupervisorConfig`;
+    ``supervise=None`` uses its defaults).  ``progress`` is invoked in
+    the parent, in completion order, after each point lands.
 
     With ``cache`` set, points whose fingerprints are already stored are
     served without executing (in spec order, before any execution
     starts) and every successfully executed point is persisted the
     moment its result lands in the parent — *before* ``progress`` fires
-    — so interrupting the sweep never loses completed work.  Failed
-    points are never cached.  The returned :attr:`SweepResult.cache_stats`
-    carries this run's hit/miss/store/eviction deltas.
+    — so interrupting the sweep never loses completed work; a SIGINT/
+    SIGTERM drain also writes a resume manifest beside the store.
+    Failed points are never cached.  The returned
+    :attr:`SweepResult.cache_stats` carries this run's hit/miss/store
+    deltas and :attr:`SweepResult.runner_health` the retry/timeout/
+    restart counts — both sidecar metadata, absent from merged exports.
     """
+    global _LAST_HEALTH
     n_workers = resolve_workers(workers)
+    config = supervise if supervise is not None else SupervisorConfig()
     points = spec.points
     total = len(points)
     started = time.perf_counter()
@@ -170,6 +142,8 @@ def run_sweep(
     fingerprints: List[str] = []
     stats_before = None
     tname = ""
+    health = RunnerHealth()
+    _LAST_HEALTH = health
 
     if cache is not None:
         from ..cache.fingerprint import task_name
@@ -212,7 +186,36 @@ def run_sweep(
                 elapsed_s=result.elapsed_s,
             )
 
+    def _land(result: PointResult) -> None:
+        nonlocal done
+        slots[result.index] = result
+        _persist(result)
+        done += 1
+        if progress is not None:
+            progress(done, total, result)
+
+    def _write_manifest(reason: str) -> None:
+        if cache is None:
+            return
+        from ..cache.manifest import ResumeManifest, write_resume_manifest
+
+        completed = tuple(
+            pr.key for pr in slots if pr is not None and pr.ok
+        )
+        write_resume_manifest(cache, ResumeManifest(
+            name=spec.name,
+            base_seed=spec.base_seed,
+            total=total,
+            completed=completed,
+            reason=reason,
+            workers=n_workers,
+        ))
+
     def _finish(pool_size: int) -> SweepResult:
+        if cache is not None:
+            from ..cache.manifest import clear_resume_manifest
+
+            clear_resume_manifest(cache, spec.name)
         cache_stats = None
         if cache is not None and stats_before is not None:
             cache_stats = cache.stats.delta(stats_before)
@@ -229,37 +232,56 @@ def run_sweep(
             results=[pr for pr in slots if pr is not None],
             elapsed_s=time.perf_counter() - started,
             cache_stats=cache_stats,
+            runner_health=health,
         )
 
     done_from_cache = done
 
     if n_workers == 1 or len(pending) <= 1:
-        for index in pending:
-            point = points[index]
-            result = _execute_point(
-                spec.task, point.key, index, point.params, point.seed
-            )
-            slots[index] = result
-            _persist(result)
-            done += 1
-            if progress is not None:
-                progress(done, total, result)
+        try:
+            for index in pending:
+                point = points[index]
+                result = None
+                for attempt in range(1, config.max_attempts + 1):
+                    _set_context(None, attempt)
+                    try:
+                        result = _classified_execute(
+                            spec.task, point.key, index, point.params,
+                            point.seed, attempt,
+                        )
+                    finally:
+                        _set_context(None, 1)
+                    if result.ok or result.error is None:
+                        break
+                    if not result.error.retryable:
+                        break
+                    health.transient_errors += 1
+                    if attempt == config.max_attempts:
+                        break
+                    health.retries += 1
+                    time.sleep(config.backoff_s(attempt, point.key))
+                assert result is not None
+                _land(result)
+                if not result.ok:
+                    if result.error is not None and result.error.retryable:
+                        health.quarantined += 1
+                    if config.fail_fast:
+                        break
+        except KeyboardInterrupt:
+            health.drained = 1
+            _write_manifest("interrupt")
+            raise
         return _finish(1)
 
-    import multiprocessing
-
-    payloads = [
-        (spec.task, points[index].key, index, dict(points[index].params),
-         points[index].seed)
-        for index in pending
-    ]
-    ctx = multiprocessing.get_context("spawn")
-    pool_size = min(n_workers, len(pending))
-    with ctx.Pool(processes=pool_size) as pool:
-        for result in pool.imap_unordered(_worker_run, payloads):
-            slots[result.index] = result
-            _persist(result)
-            done += 1
-            if progress is not None:
-                progress(done, total, result)
+    try:
+        pool_size = run_supervised(
+            spec.task, points, pending, n_workers, config, _land, health
+        )
+    except SweepDrained as drained:
+        health.drained = 1
+        _write_manifest(drained.reason)
+        raise KeyboardInterrupt(
+            f"sweep {spec.name!r} drained on {drained.reason}: "
+            f"{done}/{total} points completed and persisted"
+        ) from None
     return _finish(pool_size)

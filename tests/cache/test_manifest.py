@@ -1,0 +1,97 @@
+"""Resume manifests: drained sweeps leave accounting, completions clear it."""
+
+import json
+import os
+
+from repro.cache import (
+    MANIFEST_SCHEMA,
+    ResumeManifest,
+    SweepCache,
+    clear_resume_manifest,
+    list_resume_manifests,
+    load_resume_manifest,
+    manifest_path,
+    write_resume_manifest,
+)
+
+
+def _manifest(name="fig5", completed=("a", "b")):
+    return ResumeManifest(
+        name=name,
+        base_seed=0xC0FFEE,
+        total=5,
+        completed=tuple(completed),
+        reason="SIGINT",
+        workers=2,
+    )
+
+
+class TestRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        path = write_resume_manifest(cache, _manifest())
+        assert path == manifest_path(cache, "fig5")
+        loaded = load_resume_manifest(cache, "fig5")
+        assert loaded == _manifest()
+        assert loaded.remaining == 3
+
+    def test_as_dict_carries_schema(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        write_resume_manifest(cache, _manifest())
+        with open(manifest_path(cache, "fig5")) as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["completed"] == ["a", "b"]
+
+    def test_rewrite_replaces(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        write_resume_manifest(cache, _manifest(completed=("a",)))
+        write_resume_manifest(cache, _manifest(completed=("a", "b", "c")))
+        assert load_resume_manifest(cache, "fig5").completed == ("a", "b", "c")
+
+
+class TestMissingAndMalformed:
+    def test_missing_is_none(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        assert load_resume_manifest(cache, "nope") is None
+
+    def test_truncated_json_is_none(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        path = manifest_path(cache, "broken")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write('{"schema": "repro.manifest/v1", "name":')
+        assert load_resume_manifest(cache, "broken") is None
+
+    def test_foreign_schema_is_none(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        path = manifest_path(cache, "foreign")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump({"schema": "other/v9", "name": "foreign"}, fh)
+        assert load_resume_manifest(cache, "foreign") is None
+
+    def test_missing_fields_is_none(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        path = manifest_path(cache, "partial")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump({"schema": MANIFEST_SCHEMA, "name": "partial"}, fh)
+        assert load_resume_manifest(cache, "partial") is None
+
+
+class TestClearAndList:
+    def test_clear_removes(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        write_resume_manifest(cache, _manifest())
+        assert clear_resume_manifest(cache, "fig5")
+        assert load_resume_manifest(cache, "fig5") is None
+        assert not clear_resume_manifest(cache, "fig5")  # already gone
+
+    def test_list_sorted_by_name(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        assert list_resume_manifests(cache) == []
+        write_resume_manifest(cache, _manifest(name="zeta"))
+        write_resume_manifest(cache, _manifest(name="alpha"))
+        names = [m.name for m in list_resume_manifests(cache)]
+        assert names == ["alpha", "zeta"]

@@ -158,6 +158,85 @@ class TestWorkersFlag:
             build_parser().parse_args(["tables", "--workers", "2"])
 
 
+class TestRobustnessFlags:
+    def test_accepted_on_sweep_shaped_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["fig3", "--point-timeout", "30", "--retries", "4"],
+            ["fig5", "--quick", "--fail-fast"],
+            ["overload", "sweep", "--point-timeout", "10.5"],
+            ["faults", "run", "device-flap", "--retries", "0"],
+            ["sweep", "fig5", "--point-timeout", "5", "--retries", "1",
+             "--fail-fast"],
+        ):
+            args = parser.parse_args(argv)
+            assert hasattr(args, "point_timeout")
+            assert hasattr(args, "retries")
+            assert hasattr(args, "fail_fast")
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.point_timeout is None
+        assert args.retries == 2
+        assert not args.fail_fast
+
+    def test_bad_values_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig5", "--point-timeout", "0"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig5", "--retries", "-1"])
+
+    def test_tables_has_no_robustness_flags(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--retries", "1"])
+
+    def test_supervise_built_from_flags(self):
+        from repro.cli import _supervise
+
+        args = build_parser().parse_args(
+            ["sweep", "fig5", "--point-timeout", "30", "--retries", "4",
+             "--fail-fast"]
+        )
+        config = _supervise(args)
+        assert config.point_timeout_s == 30.0
+        assert config.max_attempts == 5  # first try + 4 retries
+        assert config.fail_fast
+
+    def test_zero_retries_means_single_attempt(self):
+        from repro.cli import _supervise
+
+        args = build_parser().parse_args(["sweep", "fig5", "--retries", "0"])
+        assert _supervise(args).max_attempts == 1
+
+    def test_health_line_on_stderr_when_eventful(self, capsys):
+        from repro import cli
+        from repro.parallel.supervisor import RunnerHealth
+
+        import repro.parallel.runner as runner_mod
+
+        health = RunnerHealth(retries=3, quarantined=1)
+        previous = runner_mod._LAST_HEALTH
+        runner_mod._LAST_HEALTH = health
+        try:
+            cli._health_note("fig5")
+            err = capsys.readouterr().err
+            assert "[fig5] health:" in err
+            assert "3 retries" in err and "1 quarantined" in err
+
+            runner_mod._LAST_HEALTH = RunnerHealth()  # uneventful
+            cli._health_note("fig5")
+            assert capsys.readouterr().err == ""
+        finally:
+            runner_mod._LAST_HEALTH = previous
+
+    def test_sweep_emits_health_summary(self, capsys):
+        assert main(["sweep", "fig8", "--quick", "--no-progress",
+                     "--no-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "health: 0 retries, 0 timeouts, 0 crashes" in err
+
+
 class TestSweepCommand:
     def test_parser_requires_known_target(self):
         with pytest.raises(SystemExit):
