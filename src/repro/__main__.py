@@ -1,0 +1,12 @@
+"""``python -m repro`` — the CLI without an installed entry point.
+
+The serve chaos harness and CI smoke jobs boot server subprocesses this
+way, so they work from a plain ``PYTHONPATH=src`` checkout.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from .manifest import (
     list_resume_manifests,
     load_resume_manifest,
     manifest_path,
+    verify_resume_manifests,
     write_resume_manifest,
 )
 from .obs import register_cache_stats, register_store_snapshot, register_sweep_result
@@ -64,6 +65,7 @@ __all__ = [
     "list_resume_manifests",
     "load_resume_manifest",
     "manifest_path",
+    "verify_resume_manifests",
     "write_resume_manifest",
     "CacheEntry",
     "CacheStats",

@@ -33,6 +33,7 @@ __all__ = [
     "load_resume_manifest",
     "clear_resume_manifest",
     "list_resume_manifests",
+    "verify_resume_manifests",
 ]
 
 MANIFEST_SCHEMA = "repro.manifest/v1"
@@ -138,6 +139,53 @@ def clear_resume_manifest(cache: "SweepCache", name: str) -> bool:
     except OSError:
         return False
     return True
+
+
+def verify_resume_manifests(
+    cache: "SweepCache", purge: bool = False
+) -> List[Tuple[str, str]]:
+    """Integrity-scan the manifest directory; returns ``(name, reason)``.
+
+    Resume is already corruption-proof — :func:`load_resume_manifest`
+    demotes a truncated or foreign document to "no manifest" and the
+    sweep runs fresh from the cache — but ``repro cache verify`` wants
+    damage *reported* (and gated on in CI), not silently tolerated.
+    ``purge=True`` deletes the unreadable files so the next scan is
+    clean.
+    """
+    directory = os.path.join(cache.root, _MANIFEST_DIR)
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    bad: List[Tuple[str, str]] = []
+    for filename in names:
+        if not filename.endswith(".json"):
+            continue
+        name = filename[: -len(".json")]
+        path = os.path.join(directory, filename)
+        reason = ""
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            reason = f"unreadable manifest: {exc}"
+        except ValueError:
+            reason = "truncated or malformed JSON"
+        else:
+            if doc.get("schema") != MANIFEST_SCHEMA:
+                reason = f"foreign schema {doc.get('schema')!r}"
+            elif load_resume_manifest(cache, name) is None:
+                reason = "missing or mistyped manifest fields"
+        if not reason:
+            continue
+        bad.append((f"manifest:{name}", reason))
+        if purge:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+    return bad
 
 
 def list_resume_manifests(cache: "SweepCache") -> List[ResumeManifest]:

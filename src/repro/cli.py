@@ -21,6 +21,7 @@ paper-style rows/series::
     repro sweep fig10 --quick             # any stock figure target
     repro cache stats                     # result-cache shape
     repro cache verify                    # integrity-scan every entry
+    repro serve --port 8023               # HTTP what-if job service
 
 Sweep-shaped commands (figures, ``overload sweep``, ``faults run``,
 ``sweep``) take ``--workers N`` to fan independent points across
@@ -694,16 +695,38 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_verify(args: argparse.Namespace) -> int:
-    from .cache import SweepCache
+    from .cache import SweepCache, verify_resume_manifests
 
     cache = SweepCache()
     report = cache.verify(purge=args.purge)
-    for fingerprint, reason in report.bad:
+    bad = list(report.bad) + verify_resume_manifests(cache, purge=args.purge)
+    for fingerprint, reason in bad:
         print(f"BAD {fingerprint}: {reason}"
               + (" (removed)" if args.purge else ""), file=sys.stderr)
     print(f"{report.checked - len(report.bad)}/{report.checked} entries ok "
           f"in {cache.root}")
-    return 1 if report.bad else 0
+    # Nonzero exit on *any* corruption — entries or resume manifests —
+    # so CI can gate on an integrity scan.
+    return 1 if bad else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers if args.workers is not None else 1,
+        max_running=args.max_running,
+        queue_depth=args.queue_depth,
+        rate_per_s=args.rate,
+        burst=args.burst,
+        table_limit=args.table_limit,
+        default_deadline_s=args.deadline,
+        drain_budget_s=args.drain_budget,
+        request_timeout_s=args.request_timeout,
+    )
+    return serve_forever(config)
 
 
 def _nonnegative_seed(text: str) -> int:
@@ -898,6 +921,39 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--purge", action="store_true",
                     help="delete entries that fail verification")
     cp.set_defaults(func=_cmd_cache_verify)
+
+    p = sub.add_parser(
+        "serve",
+        help="crash-tolerant HTTP service for sweep-shaped what-if jobs",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8023,
+                   help="listen port; 0 binds an ephemeral one (default: 8023)")
+    p.add_argument("--workers", type=_positive_workers, default=None,
+                   metavar="N",
+                   help="sweep worker processes per job (default: 1)")
+    p.add_argument("--max-running", type=int, default=2, metavar="N",
+                   help="jobs executing concurrently (default: 2)")
+    p.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                   help="bounded admission queue; beyond it submissions "
+                        "are shed with 503 + Retry-After (default: 8)")
+    p.add_argument("--rate", type=float, default=None, metavar="R",
+                   help="token-bucket submissions/s; beyond it 429 + "
+                        "Retry-After (default: unlimited)")
+    p.add_argument("--burst", type=float, default=None, metavar="B",
+                   help="token-bucket burst (default: derived from --rate)")
+    p.add_argument("--table-limit", type=int, default=64, metavar="N",
+                   help="job-table bound; oldest finished records are "
+                        "evicted past it (default: 64)")
+    p.add_argument("--deadline", type=float, default=600.0, metavar="S",
+                   help="default per-job wall-clock deadline in seconds; "
+                        "0 disables (default: 600)")
+    p.add_argument("--drain-budget", type=float, default=10.0, metavar="S",
+                   help="SIGTERM drain budget: checkpoint in-flight jobs "
+                        "and exit 0 within this (default: 10)")
+    p.add_argument("--request-timeout", type=float, default=30.0, metavar="S",
+                   help="per-request read timeout in seconds (default: 30)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("advise", help="configuration advisor (§3.4/§5.3)")
     p.add_argument("--demand-gbps", type=float, default=50.0)

@@ -10,6 +10,8 @@ message text.
 
 from __future__ import annotations
 
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -156,23 +158,50 @@ class TransientError(ReproError):
     """
 
 
+#: OS-level stream/timeout conditions that clear on retry.  The
+#: connection-shaped members (``BrokenPipeError``,
+#: ``ConnectionResetError``, ``socket.timeout``, the builtin
+#: ``TimeoutError``) are already ``OSError`` subclasses; they are named
+#: here so the classification is explicit and pinned by tests rather
+#: than an accident of the exception hierarchy.
+#: ``concurrent.futures.TimeoutError`` is listed separately because on
+#: Python < 3.11 it (and its alias ``asyncio.TimeoutError``) does *not*
+#: derive from ``OSError`` — a served request that times out against a
+#: wedged backend must still classify as transient there.
+_TRANSIENT_OS_ERRORS: "tuple" = (
+    BrokenPipeError,
+    ConnectionResetError,
+    ConnectionAbortedError,
+    TimeoutError,
+    _FuturesTimeoutError,
+)
+
+
 def is_retryable(exc: BaseException) -> bool:
     """Whether re-running the failed operation unchanged could succeed.
 
     The transient-vs-permanent classification shared by the simulation
-    retry policies and the sweep runner:
+    retry policies, the sweep runner, and the serving stack:
 
     * :class:`TransientError` — the explicit harness-level marker;
     * :class:`FaultError` — injected RAS conditions, the same family
       :func:`repro.faults.retry.retry_call` retries inside the sims;
     * ``OSError``/``MemoryError`` — environmental pressure (fd limits,
-      OOM) that another attempt on a fresh worker may not hit.
+      OOM) that another attempt on a fresh worker may not hit;
+    * OS-level stream errors (``BrokenPipeError``,
+      ``ConnectionResetError``, ``TimeoutError`` in all its stdlib
+      spellings) — a peer hung up or a read timed out; the connection
+      can be retried.
 
     Everything else — ``ValueError``, assertion failures, programming
     errors — is permanent: re-running a deterministic task on the same
     ``(params, seed)`` would only fail identically.
     """
-    return isinstance(exc, (TransientError, FaultError, OSError, MemoryError))
+    return isinstance(
+        exc,
+        (TransientError, FaultError, OSError, MemoryError)
+        + _TRANSIENT_OS_ERRORS,
+    )
 
 
 class RetryExhaustedError(FaultError):

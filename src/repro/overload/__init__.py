@@ -13,6 +13,7 @@ from .limiter import AdaptiveLimiter, ConcurrencyLimiter, TokenBucketLimiter
 from .metrics import OverloadMetrics
 from .policy import OverloadController, OverloadPolicy
 from .queue import AdmissionQueue, QueueDiscipline
+from .wallclock import AdmissionDecision, WallClock, WallClockAdmission
 from .runner import (
     OverloadRunSummary,
     calibrate_capacity_ops_per_s,
@@ -22,6 +23,9 @@ from .runner import (
 )
 
 __all__ = [
+    "AdmissionDecision",
+    "WallClock",
+    "WallClockAdmission",
     "Deadline",
     "Request",
     "AdmissionQueue",

@@ -42,6 +42,8 @@ written next to the store (see :mod:`repro.cache.manifest`) before the
 from __future__ import annotations
 
 import os
+import signal
+import threading
 import time
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
@@ -106,6 +108,7 @@ def run_sweep(
     progress: Optional[ProgressFn] = None,
     cache: Optional["SweepCache"] = None,
     supervise: Optional[SupervisorConfig] = None,
+    cancel: Optional[threading.Event] = None,
 ) -> SweepResult:
     """Execute every point of ``spec``; results come back in spec order.
 
@@ -129,6 +132,15 @@ def run_sweep(
     :attr:`SweepResult.cache_stats` carries this run's hit/miss/store
     deltas and :attr:`SweepResult.runner_health` the retry/timeout/
     restart counts — both sidecar metadata, absent from merged exports.
+
+    ``cancel`` is the programmatic drain hook: a ``threading.Event``
+    that, once set, drains the sweep exactly like SIGTERM would —
+    completed points stay persisted, a resume manifest (reason
+    ``cancelled``) is written, and ``KeyboardInterrupt`` propagates.
+    It exists for callers that run sweeps off the main thread (the
+    ``repro serve`` job manager), where signal handlers cannot be
+    installed.  Both the serial and the supervised path honor it at
+    point boundaries.
     """
     global _LAST_HEALTH
     n_workers = resolve_workers(workers)
@@ -237,9 +249,33 @@ def run_sweep(
 
     done_from_cache = done
 
+    def _drain_to_interrupt(reason: str) -> "KeyboardInterrupt":
+        health.drained = 1
+        _write_manifest(reason)
+        return KeyboardInterrupt(
+            f"sweep {spec.name!r} drained on {reason}: "
+            f"{done}/{total} points completed and persisted"
+        )
+
     if n_workers == 1 or len(pending) <= 1:
+        # The supervised path owns SIGINT/SIGTERM through
+        # run_supervised; the serial path must install its own SIGTERM
+        # hook (SIGINT already raises KeyboardInterrupt) or a drained
+        # `--workers 1` run dies without a resume manifest.
+        signal_reason: List[str] = []
+
+        def _on_signal(signum: int, frame: Any) -> None:
+            signal_reason.append(signal.Signals(signum).name)
+            raise KeyboardInterrupt()
+
+        in_main_thread = threading.current_thread() is threading.main_thread()
+        previous_handler = None
+        if in_main_thread:
+            previous_handler = signal.signal(signal.SIGTERM, _on_signal)
         try:
             for index in pending:
+                if cancel is not None and cancel.is_set():
+                    raise SweepDrained("cancelled")
                 point = points[index]
                 result = None
                 for attempt in range(1, config.max_attempts + 1):
@@ -269,19 +305,20 @@ def run_sweep(
                         break
         except KeyboardInterrupt:
             health.drained = 1
-            _write_manifest("interrupt")
+            _write_manifest(signal_reason[0] if signal_reason else "interrupt")
             raise
+        except SweepDrained as drained:
+            raise _drain_to_interrupt(drained.reason) from None
+        finally:
+            if in_main_thread and previous_handler is not None:
+                signal.signal(signal.SIGTERM, previous_handler)
         return _finish(1)
 
     try:
         pool_size = run_supervised(
-            spec.task, points, pending, n_workers, config, _land, health
+            spec.task, points, pending, n_workers, config, _land, health,
+            cancel=cancel,
         )
     except SweepDrained as drained:
-        health.drained = 1
-        _write_manifest(drained.reason)
-        raise KeyboardInterrupt(
-            f"sweep {spec.name!r} drained on {drained.reason}: "
-            f"{done}/{total} points completed and persisted"
-        ) from None
+        raise _drain_to_interrupt(drained.reason) from None
     return _finish(pool_size)

@@ -379,13 +379,17 @@ def run_supervised(
     config: SupervisorConfig,
     emit: Callable[[PointResult], None],
     health: RunnerHealth,
+    cancel: Optional[threading.Event] = None,
 ) -> int:
     """Execute ``pending`` point indices under supervision.
 
     ``emit`` receives exactly one *final* :class:`PointResult` per
     pending index (in completion order; the caller slots them back into
     spec order).  Returns the pool size used.  Raises
-    :class:`SweepDrained` after teardown when SIGINT/SIGTERM arrives.
+    :class:`SweepDrained` after teardown when SIGINT/SIGTERM arrives, or
+    when ``cancel`` (the programmatic drain hook used by ``repro
+    serve``'s job manager, which runs sweeps off the main thread where
+    signal handlers cannot be installed) is set.
     """
     import multiprocessing
     from multiprocessing import connection as mp_connection
@@ -566,6 +570,8 @@ def run_supervised(
         while outstanding > 0:
             if drain_reason:
                 raise SweepDrained(drain_reason[0])
+            if cancel is not None and cancel.is_set():
+                raise SweepDrained("cancelled")
             now = time.monotonic()
             while delayed and delayed[0][0] <= now:
                 _, index, attempt = heapq.heappop(delayed)

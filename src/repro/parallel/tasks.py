@@ -23,6 +23,7 @@ from typing import Any, Dict, Mapping
 
 __all__ = [
     "demo_point",
+    "demo_point_observed",
     "fig3_panel",
     "fig3_panel_observed",
     "fig4_pattern_mix",
@@ -47,12 +48,19 @@ def demo_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
 
     Draws a few values from the seeded RNG stream and returns summary
     statistics.  ``params["poison"]`` truthy makes the point crash —
-    used to exercise the runner's failure isolation.
+    used to exercise the runner's failure isolation.  ``params["sleep_s"]``
+    pads the point's wall-clock without touching its value, so timing
+    tests (mid-job kills, deadline shedding) get points slow enough to
+    interrupt but still value-deterministic.
     """
+    import time
+
     from ..sim.rng import RngFactory
 
     if params.get("poison"):
         raise RuntimeError(f"poisoned point (seed {seed})")
+    if params.get("sleep_s"):
+        time.sleep(float(params["sleep_s"]))
     rng = RngFactory(seed).stream("parallel-demo")
     draws = rng.random(int(params.get("draws", 64)))
     return {
@@ -62,6 +70,27 @@ def demo_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
         "min": float(draws.min()),
         "max": float(draws.max()),
     }
+
+
+def demo_point_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A demo point plus its ``repro.metrics/v1`` snapshot.
+
+    The ``demo`` target of ``repro serve``: a sweep point cheap enough
+    that service-level tests (admission, kill/resume, drain) measure the
+    server, not the workload.
+    """
+    from ..obs.registry import MetricsRegistry
+
+    stats = demo_point(params, seed)
+    registry = MetricsRegistry()
+    gauge = registry.gauge(
+        "demo_draws", "summary statistics of one demo point", ("quantity",)
+    )
+    rows = []
+    for quantity in ("n", "mean", "min", "max"):
+        gauge.set(float(stats[quantity]), quantity=quantity)
+        rows.append((quantity, f"{stats[quantity]:.6g}"))
+    return {"rows": rows, "metrics": registry.as_dict()}
 
 
 # -- Fig. 3 / Fig. 4 (loaded latency) ---------------------------------------

@@ -1,0 +1,180 @@
+"""A small stdlib HTTP client for ``repro serve``.
+
+Built on :mod:`http.client`, one connection per request (matching the
+server's ``Connection: close`` discipline).  The client is what the
+serve tests, the benchmark and the chaos driver speak — and a worked
+example of the retry etiquette the server's backpressure expects:
+:meth:`submit_with_retry` honors ``Retry-After`` instead of hammering.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ServeClient", "ServeResponse"]
+
+
+class ServeResponse:
+    """Status, headers and decoded body of one exchange."""
+
+    def __init__(self, status: int, headers: Dict[str, str],
+                 body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    @property
+    def json(self) -> Any:
+        """The body decoded as JSON (None when empty or not JSON)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except ValueError:
+            return None
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        """The server's backoff hint, when it shed the request."""
+        raw = self.headers.get("retry-after")
+        return float(raw) if raw is not None else None
+
+    @property
+    def ok(self) -> bool:
+        """True for any 2xx status."""
+        return 200 <= self.status < 300
+
+
+class ServeClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023,
+                 timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 payload: Any = None) -> ServeResponse:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return ServeResponse(
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                response.read(),
+            )
+        finally:
+            conn.close()
+
+    # -- health -------------------------------------------------------------
+
+    def healthz(self) -> ServeResponse:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> ServeResponse:
+        """Readiness probe (503 while draining or saturated)."""
+        return self._request("GET", "/readyz")
+
+    def metrics(self) -> ServeResponse:
+        """The server's ``repro.metrics/v1`` snapshot."""
+        return self._request("GET", "/metrics")
+
+    # -- jobs ---------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> ServeResponse:
+        """Submit one job spec (201, or 429/503 with Retry-After)."""
+        return self._request("POST", "/jobs", payload=spec)
+
+    def submit_with_retry(self, spec: Dict[str, Any],
+                          attempts: int = 5) -> ServeResponse:
+        """Submit, sleeping out ``Retry-After`` on shed responses."""
+        response = self.submit(spec)
+        for _ in range(attempts - 1):
+            if response.status not in (429, 503):
+                break
+            time.sleep(min(5.0, response.retry_after_s or 0.5))
+            response = self.submit(spec)
+        return response
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job record the server holds."""
+        doc = self._request("GET", "/jobs").json
+        return doc["jobs"] if doc else []
+
+    def job(self, job_id: str) -> ServeResponse:
+        """One job record."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> ServeResponse:
+        """Cancel (checkpointing a running job)."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Optional[bytes]:
+        """The merged export bytes of a done job (None otherwise)."""
+        response = self._request("GET", f"/jobs/{job_id}/result")
+        return response.body if response.status == 200 else None
+
+    def wait(self, job_id: str, timeout_s: float = 120.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; its record."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            record = self.job(job_id).json
+            if record is None:
+                raise RuntimeError(f"job {job_id!r} disappeared")
+            if record["state"] in ("done", "failed", "cancelled",
+                                   "quarantined"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {record['state']} after "
+                    f"{timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+    def events(self, job_id: str,
+               timeout_s: Optional[float] = None) -> Iterator[Dict[str, Any]]:
+        """Stream the job's NDJSON events until it terminates."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s,
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise RuntimeError(
+                    f"events stream for {job_id!r}: HTTP {response.status}"
+                )
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def wait_for_event(self, job_id: str, predicate: Any,
+                       timeout_s: float = 60.0) -> Tuple[Dict[str, Any], ...]:
+        """Consume the stream until ``predicate(event)``; events so far."""
+        seen: List[Dict[str, Any]] = []
+        for event in self.events(job_id, timeout_s=timeout_s):
+            seen.append(event)
+            if predicate(event):
+                return tuple(seen)
+        raise TimeoutError(
+            f"stream for {job_id!r} ended before the awaited event "
+            f"({len(seen)} events seen)"
+        )

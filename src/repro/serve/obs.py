@@ -1,0 +1,41 @@
+"""Serve-side observability: the job manager as a metrics collector.
+
+Registers the admission/job-table counters into a
+:class:`~repro.obs.registry.MetricsRegistry` as a lazy collector —
+the same idiom the cache store and runner health use — so ``/metrics``
+and any embedding registry export one coherent ``repro.metrics/v1``
+document.  Snapshots are taken at collection time: the collector always
+reports the *current* state, not the state at registration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..obs.registry import MetricsRegistry
+    from .jobs import JobManager
+
+__all__ = ["register_serve_stats"]
+
+
+def register_serve_stats(registry: "MetricsRegistry",
+                         manager: "JobManager") -> None:
+    """Expose ``manager``'s counters as ``serve_*`` gauges."""
+    from ..obs.registry import Sample
+
+    def collect() -> Iterable[Sample]:
+        stats = manager.stats()
+        for name in ("queued", "queue_depth", "running", "max_running",
+                     "rejected_full", "rejected_rate", "shed_expired",
+                     "jobs_total", "recovered"):
+            yield Sample(f"serve_{name}", "gauge", {}, float(stats[name]))
+        yield Sample("serve_mean_service_s", "gauge", {},
+                     float(stats["mean_service_s"]))
+        yield Sample("serve_draining", "gauge", {},
+                     1.0 if stats["draining"] else 0.0)
+        for state, count in sorted(stats["jobs"].items()):
+            yield Sample("serve_jobs", "gauge", {"state": state},
+                         float(count))
+
+    registry.register_collector(collect)

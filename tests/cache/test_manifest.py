@@ -11,8 +11,10 @@ from repro.cache import (
     list_resume_manifests,
     load_resume_manifest,
     manifest_path,
+    verify_resume_manifests,
     write_resume_manifest,
 )
+from repro.parallel import SweepPoint, SweepSpec, run_sweep
 
 
 def _manifest(name="fig5", completed=("a", "b")):
@@ -78,6 +80,58 @@ class TestMissingAndMalformed:
         with open(path, "w") as fh:
             json.dump({"schema": MANIFEST_SCHEMA, "name": "partial"}, fh)
         assert load_resume_manifest(cache, "partial") is None
+
+
+def square_point(params, seed):
+    """Module-level (spawn-importable) trivial task."""
+    return {"sq": params["i"] * params["i"], "seed": seed}
+
+
+class TestCorruptDemotesToFresh:
+    """A damaged manifest must never block a sweep — it runs fresh."""
+
+    def _spec(self, n=4):
+        return SweepSpec(
+            name="dented",
+            task=square_point,
+            points=tuple(
+                SweepPoint(key=f"p{i}", params={"i": i}, seed=100 + i)
+                for i in range(n)
+            ),
+        )
+
+    def _corrupt(self, cache, name="dented"):
+        path = manifest_path(cache, name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write('{"schema": "repro.manifest/v1", "completed": [')
+        return path
+
+    def test_truncated_manifest_runs_fresh_and_completes(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        self._corrupt(cache)
+        result = run_sweep(self._spec(), workers=1, cache=cache)
+        assert result.ok
+        assert [pr.value["sq"] for pr in result.results] == [0, 1, 4, 9]
+        assert not any(pr.cached for pr in result.results)
+        # The completed sweep clears the debris along with its manifest.
+        assert load_resume_manifest(cache, "dented") is None
+        assert not os.path.exists(manifest_path(cache, "dented"))
+
+    def test_verify_reports_and_purges_corruption(self, tmp_path):
+        cache = SweepCache(root=str(tmp_path))
+        self._corrupt(cache)
+        write_resume_manifest(cache, _manifest(name="fine"))
+        bad = verify_resume_manifests(cache)
+        assert [name for name, _ in bad] == ["manifest:dented"]
+        assert "JSON" in bad[0][1]
+        # Reporting alone leaves the file; purge removes it.
+        assert os.path.exists(manifest_path(cache, "dented"))
+        bad = verify_resume_manifests(cache, purge=True)
+        assert [name for name, _ in bad] == ["manifest:dented"]
+        assert not os.path.exists(manifest_path(cache, "dented"))
+        assert verify_resume_manifests(cache) == []
+        assert load_resume_manifest(cache, "fine") is not None
 
 
 class TestClearAndList:

@@ -1,0 +1,182 @@
+"""Wall-clock admission: rate shedding, bounded queue, deadline purges."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload.wallclock import (
+    AdmissionDecision,
+    WallClock,
+    WallClockAdmission,
+)
+
+
+class FakeClock(WallClock):
+    """Manually-advanced clock; starts at zero."""
+
+    def __init__(self):
+        self._now_ns = 0.0
+
+    def now_ns(self):
+        return self._now_ns
+
+    def advance_s(self, seconds):
+        self._now_ns += seconds * 1e9
+
+
+def _admission(queue_depth=4, max_running=2, **kwargs):
+    clock = FakeClock()
+    return WallClockAdmission(
+        queue_depth=queue_depth, max_running=max_running, clock=clock,
+        **kwargs
+    ), clock
+
+
+class TestWallClock:
+    def test_real_clock_is_monotonic(self):
+        clock = WallClock()
+        a = clock.now_ns()
+        b = clock.now_ns()
+        assert b >= a
+        assert clock.now_s() * 1e9 >= b
+
+    def test_decision_as_dict(self):
+        doc = AdmissionDecision(False, "rate", 0.25).as_dict()
+        assert doc == {"admitted": False, "reason": "rate",
+                       "retry_after_s": 0.25}
+
+
+class TestValidation:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            WallClockAdmission(queue_depth=1, max_running=1, rate_per_s=0)
+
+    def test_burst_needs_rate(self):
+        with pytest.raises(ConfigurationError):
+            WallClockAdmission(queue_depth=1, max_running=1, burst=4)
+
+
+class TestRateShedding:
+    def test_burst_beyond_bucket_sheds_with_retry_after(self):
+        admission, _ = _admission(queue_depth=64, rate_per_s=2.0, burst=2.0)
+        verdicts = [admission.offer(f"job-{i}")[0] for i in range(6)]
+        admitted = [d for d in verdicts if d.admitted]
+        shed = [d for d in verdicts if not d.admitted]
+        assert len(admitted) == 2  # the burst
+        assert len(shed) == 4
+        assert all(d.reason == "rate" for d in shed)
+        assert all(d.retry_after_s > 0 for d in shed)
+        assert admission.rejected_rate == 4
+
+    def test_bucket_refills_with_time(self):
+        admission, clock = _admission(queue_depth=64, rate_per_s=2.0,
+                                      burst=1.0)
+        assert admission.offer("a")[0].admitted
+        assert not admission.offer("b")[0].admitted
+        clock.advance_s(0.6)  # > one token at 2/s
+        assert admission.offer("c")[0].admitted
+
+
+class TestQueueShedding:
+    def test_full_queue_sheds_with_backlog_estimate(self):
+        admission, _ = _admission(queue_depth=2, max_running=2)
+        assert admission.offer("a")[0].admitted
+        assert admission.offer("b")[0].admitted
+        assert admission.saturated
+        decision, request = admission.offer("c")
+        assert request is None
+        assert decision.reason == "queue-full"
+        # Backlog of 2 + the newcomer through 2 slots = 2 waves of the
+        # (seeded) 1s mean service time.
+        assert decision.retry_after_s == pytest.approx(2.0)
+
+    def test_retry_after_tracks_service_ewma(self):
+        admission, _ = _admission(queue_depth=1, max_running=1)
+        admission.offer("a")
+        request = admission.next_runnable()
+        assert request is not None
+        admission.release(service_s=11.0)  # EWMA: 1 + 0.3*(11-1) = 4
+        assert admission.mean_service_s == pytest.approx(4.0)
+        admission.offer("b")
+        decision, _ = admission.offer("c")
+        assert decision.reason == "queue-full"
+        assert decision.retry_after_s == pytest.approx(8.0)  # 2 waves * 4s
+
+
+class TestPromotion:
+    def test_slots_bound_concurrency(self):
+        admission, _ = _admission(queue_depth=8, max_running=2)
+        for name in "abc":
+            admission.offer(name)
+        first = admission.next_runnable()
+        second = admission.next_runnable()
+        assert {first.payload, second.payload} == {"a", "b"}
+        assert admission.next_runnable() is None  # no slot for "c"
+        admission.release(service_s=0.1)
+        third = admission.next_runnable()
+        assert third.payload == "c"
+
+    def test_empty_queue_returns_slot(self):
+        admission, _ = _admission(queue_depth=8, max_running=1)
+        assert admission.next_runnable() is None
+        admission.offer("a")
+        # The failed probe must not have leaked the slot.
+        assert admission.next_runnable().payload == "a"
+
+
+class TestDeadlines:
+    def test_expired_waiters_are_shed_on_promotion(self):
+        shed = []
+        clock = FakeClock()
+        admission = WallClockAdmission(
+            queue_depth=8, max_running=1, clock=clock,
+            on_shed=lambda req: shed.append(req.payload),
+        )
+        admission.offer("stale", deadline_s=1.0)
+        admission.offer("fresh", deadline_s=60.0)
+        clock.advance_s(2.0)
+        request = admission.next_runnable()
+        assert request.payload == "fresh"
+        assert shed == ["stale"]
+
+    def test_shed_expired_purges_without_promotion(self):
+        shed = []
+        clock = FakeClock()
+        admission = WallClockAdmission(
+            queue_depth=8, max_running=1, clock=clock,
+            on_shed=lambda req: shed.append(req.payload),
+        )
+        admission.offer("stale", deadline_s=0.5)
+        admission.offer("eternal")  # no deadline
+        clock.advance_s(1.0)
+        assert admission.shed_expired() == 1
+        assert shed == ["stale"]
+        assert admission.backlog() == 1
+
+    def test_no_deadline_never_expires(self):
+        admission, clock = _admission()
+        admission.offer("eternal")
+        clock.advance_s(1e6)
+        assert admission.shed_expired() == 0
+        assert admission.next_runnable().payload == "eternal"
+
+
+class TestTelemetry:
+    def test_as_dict_counts_everything(self):
+        admission, clock = _admission(queue_depth=2, max_running=1,
+                                      rate_per_s=100.0, burst=100.0)
+        admission.offer("a", deadline_s=0.5)
+        admission.offer("b")
+        admission.offer("c")  # queue-full
+        clock.advance_s(1.0)
+        admission.shed_expired()  # sheds "a"
+        running = admission.next_runnable()
+        assert running.payload == "b"
+        doc = admission.as_dict()
+        assert doc["queued"] == 0
+        assert doc["queue_depth"] == 2
+        assert doc["running"] == 1
+        assert doc["max_running"] == 1
+        assert doc["rejected_full"] == 1
+        assert doc["rejected_rate"] == 0
+        assert doc["shed_expired"] == 1
+        assert doc["mean_service_s"] == pytest.approx(1.0)

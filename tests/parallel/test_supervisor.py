@@ -78,6 +78,20 @@ class TestClassification:
         assert not is_retryable(ValueError("bad input"))
         assert not is_retryable(ConfigurationError("bad flag"))
 
+    def test_stream_errors_are_transient(self):
+        # OS-level stream failures are exactly the weather a serving
+        # stack retries through: the peer vanished or the read stalled,
+        # not a logic bug.
+        assert is_retryable(BrokenPipeError("peer closed"))
+        assert is_retryable(ConnectionResetError("reset mid-read"))
+        assert is_retryable(ConnectionAbortedError("aborted"))
+        assert is_retryable(TimeoutError("read deadline"))
+
+    def test_futures_timeout_is_transient(self):
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        assert is_retryable(FuturesTimeout())
+
 
 class TestConfig:
     def test_rejects_bad_values(self):
@@ -281,7 +295,7 @@ _DRAIN_SCRIPT = textwrap.dedent("""\
         )
         print("ready", flush=True)
         try:
-            run_sweep(spec, workers=2, cache=cache)
+            run_sweep(spec, workers=int(sys.argv[3]), cache=cache)
         except KeyboardInterrupt:
             return 130
         return 0
@@ -315,7 +329,7 @@ class TestDrain:
                         env.get("PYTHONPATH", "")) if p
         )
         proc = subprocess.Popen(
-            [sys.executable, str(script), str(cache_root), str(log)],
+            [sys.executable, str(script), str(cache_root), str(log), "2"],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
         )
         assert proc.stdout.readline().strip() == "ready"
@@ -357,6 +371,61 @@ class TestDrain:
             {"name": f"p{i}", "seed": (100 + i) * 3} for i in range(8)
         ]
         # Successful completion cleared the manifest.
+        assert load_resume_manifest(cache, "drainable") is None
+
+    def test_sigterm_drains_serial_run(self, tmp_path):
+        # The workers=1 path has no supervisor to own signals; its own
+        # SIGTERM hook must still drain with a manifest — this is the
+        # path `repro serve --workers 1` jobs and plain serial CLI
+        # sweeps take.
+        cache_root = tmp_path / "cache"
+        log = tmp_path / "log"
+        log.mkdir()
+        script = tmp_path / "drain.py"
+        script.write_text(_DRAIN_SCRIPT)
+        env = dict(os.environ)
+        repo = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(repo, "src"), repo,
+                        env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(cache_root), str(log), "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+        )
+        assert proc.stdout.readline().strip() == "ready"
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and len(os.listdir(log)) < 2:
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 130, stderr
+
+        cache = SweepCache(root=str(cache_root))
+        manifest = load_resume_manifest(cache, "drainable")
+        assert manifest is not None, stderr
+        assert manifest.reason == "SIGTERM"
+        assert manifest.workers == 1
+        assert 0 < len(manifest.completed) < 8
+
+        # Every manifest-listed point really is a cache hit on resume.
+        spec = SweepSpec(
+            name="drainable",
+            task=slow_logging_point,
+            points=tuple(
+                SweepPoint(
+                    key=f"p{i}",
+                    params={"name": f"p{i}", "log_dir": str(log)},
+                    seed=100 + i,
+                )
+                for i in range(8)
+            ),
+        )
+        resumed = run_sweep(spec, workers=1, cache=cache)
+        assert resumed.ok
+        assert {pr.key for pr in resumed.results if pr.cached} >= set(
+            manifest.completed
+        )
         assert load_resume_manifest(cache, "drainable") is None
 
     def test_serial_interrupt_writes_manifest(self, tmp_path):

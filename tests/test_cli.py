@@ -314,3 +314,39 @@ class TestCacheCommand:
         assert cache.verify().ok
         assert main(["cache", "verify"]) == 0
         capsys.readouterr()
+
+    def test_verify_exits_nonzero_on_corrupt_entry(self, capsys):
+        import os
+
+        from repro.cache import SweepCache
+
+        assert main(["faults", "run", "device-flap", "--app", "keydb",
+                     "--quick"]) == 0
+        cache = SweepCache()
+        info = next(iter(cache.entries()))
+        with open(info.path, "r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            fh.truncate(fh.tell() // 2)
+        assert main(["cache", "verify"]) == 1
+        capsys.readouterr()
+        # Purge removes the damage and restores a clean exit.
+        assert main(["cache", "verify", "--purge"]) == 1
+        assert main(["cache", "verify"]) == 0
+        capsys.readouterr()
+
+    def test_verify_exits_nonzero_on_corrupt_manifest(self, capsys):
+        import os
+
+        from repro.cache import SweepCache, manifest_path
+
+        cache = SweepCache()
+        path = manifest_path(cache, "dented")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write('{"schema": "repro.manifest/v1",')
+        assert main(["cache", "verify"]) == 1
+        err = capsys.readouterr().err
+        assert "manifest:dented" in err
+        assert main(["cache", "verify", "--purge"]) == 1
+        assert main(["cache", "verify"]) == 0
+        capsys.readouterr()
