@@ -79,18 +79,46 @@ def _load_fractions(load_points: int) -> List[float]:
     return [0.02 + i * (1.13 / (load_points - 1)) for i in range(load_points)]
 
 
+def _backend_task(backend: str, des, analytic, auto=None):
+    """Resolve a spec builder's ``backend`` flag to a task function.
+
+    ``auto`` defaults to the analytic task: for the MLC and fig8 grids
+    every point is steady-state, so the router would route all of them
+    to the fast path anyway.  fig5 passes its true per-point router.
+    """
+    from ..analytic.select import BACKENDS
+
+    if backend not in BACKENDS:
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "des":
+        return des
+    if backend == "analytic":
+        return analytic
+    return auto if auto is not None else analytic
+
+
 def fig3_sweep_spec(
     panels: Sequence[str] = FIG3_PANELS,
     mixes: Sequence[Tuple[int, int]] = FIG3_MIXES,
     load_points: int = 24,
     seed: int = DEFAULT_SEED,
     observed: bool = False,
+    backend: str = "des",
 ) -> SweepSpec:
     """The Fig. 3 panel grid as a sweep spec (one point per distance)."""
     fractions = _load_fractions(load_points)
     return SweepSpec(
         name="fig3",
-        task=tasks.fig3_panel_observed if observed else tasks.fig3_panel,
+        task=_backend_task(
+            backend,
+            tasks.fig3_panel_observed if observed else tasks.fig3_panel,
+            (tasks.fig3_panel_analytic_observed if observed
+             else tasks.fig3_panel_analytic),
+        ),
         points=tuple(
             SweepPoint(
                 key=panel,
@@ -108,6 +136,7 @@ def fig3_loaded_latency(
     panels: Sequence[str] = FIG3_PANELS,
     mixes: Sequence[Tuple[int, int]] = FIG3_MIXES,
     load_points: int = 24,
+    backend: str = "des",
     workers: Optional[int] = None,
     cache=None,
     supervise=None,
@@ -118,7 +147,8 @@ def fig3_loaded_latency(
     SNC-enabled platform, as in §3.1.  Panels are independent and fan
     out across ``workers`` processes.
     """
-    spec = fig3_sweep_spec(panels=panels, mixes=mixes, load_points=load_points)
+    spec = fig3_sweep_spec(panels=panels, mixes=mixes, load_points=load_points,
+                           backend=backend)
     sweep = run_sweep(spec, workers=workers, cache=cache,
                       supervise=supervise).raise_failures()
     return {pr.key: pr.value for pr in sweep.results}
@@ -132,13 +162,19 @@ def fig4_sweep_spec(
     load_points: int = 24,
     seed: int = DEFAULT_SEED,
     observed: bool = False,
+    backend: str = "des",
 ) -> SweepSpec:
     """The Fig. 4 (pattern, mix) grid as a sweep spec."""
     fractions = _load_fractions(load_points)
     return SweepSpec(
         name="fig4",
-        task=(tasks.fig4_pattern_mix_observed if observed
-              else tasks.fig4_pattern_mix),
+        task=_backend_task(
+            backend,
+            (tasks.fig4_pattern_mix_observed if observed
+             else tasks.fig4_pattern_mix),
+            (tasks.fig4_pattern_mix_analytic_observed if observed
+             else tasks.fig4_pattern_mix_analytic),
+        ),
         points=tuple(
             SweepPoint(
                 key=f"{pattern}/{r}:{w}",
@@ -159,6 +195,7 @@ def fig4_path_comparison(
     ),
     patterns: Sequence[str] = ("sequential", "random"),
     load_points: int = 24,
+    backend: str = "des",
     workers: Optional[int] = None,
     cache=None,
     supervise=None,
@@ -173,6 +210,7 @@ def fig4_path_comparison(
         write_fractions_mixes=write_fractions_mixes,
         patterns=patterns,
         load_points=load_points,
+        backend=backend,
     )
     sweep = run_sweep(spec, workers=workers, cache=cache,
                       supervise=supervise).raise_failures()
@@ -221,6 +259,7 @@ def fig5_sweep_spec(
     total_ops: int = 100_000,
     seed: int = 0xC0FFEE,
     observed: bool = False,
+    backend: str = "des",
 ) -> SweepSpec:
     """The Fig. 5 grid as a sweep spec (one point per cell).
 
@@ -228,10 +267,18 @@ def fig5_sweep_spec(
     configuration against the same workload draw.  ``observed=True``
     swaps in the task variant that also snapshots a per-cell
     ``repro.metrics/v1`` document (used by ``repro sweep fig5``).
+    ``backend="auto"`` routes steady-state cells to the analytical
+    model and the hot-promotion transient to the DES, per point.
     """
     return SweepSpec(
         name="fig5",
-        task=tasks.fig5_cell_observed if observed else tasks.fig5_cell,
+        task=_backend_task(
+            backend,
+            tasks.fig5_cell_observed if observed else tasks.fig5_cell,
+            (tasks.fig5_cell_analytic_observed if observed
+             else tasks.fig5_cell_analytic),
+            tasks.fig5_cell_auto_observed if observed else tasks.fig5_cell_auto,
+        ),
         points=tuple(
             SweepPoint(
                 key=f"{workload}/{config}",
@@ -258,6 +305,7 @@ def fig5_keydb(
     record_count: int = 65_536,
     total_ops: int = 100_000,
     seed: int = 0xC0FFEE,
+    backend: str = "des",
     workers: Optional[int] = None,
     cache=None,
     supervise=None,
@@ -269,6 +317,7 @@ def fig5_keydb(
         record_count=record_count,
         total_ops=total_ops,
         seed=seed,
+        backend=backend,
     )
     sweep = run_sweep(spec, workers=workers, cache=cache,
                       supervise=supervise).raise_failures()
@@ -332,11 +381,17 @@ def fig8_sweep_spec(
     total_ops: int = 150_000,
     seed: int = 0xC0FFEE,
     observed: bool = False,
+    backend: str = "des",
 ) -> SweepSpec:
     """The Fig. 8 MMEM/CXL pair as a sweep spec."""
     return SweepSpec(
         name="fig8",
-        task=tasks.fig8_cell_observed if observed else tasks.fig8_cell,
+        task=_backend_task(
+            backend,
+            tasks.fig8_cell_observed if observed else tasks.fig8_cell,
+            (tasks.fig8_cell_analytic_observed if observed
+             else tasks.fig8_cell_analytic),
+        ),
         points=tuple(
             SweepPoint(
                 key=key,
@@ -357,13 +412,15 @@ def fig8_cxl_only(
     record_count: int = 102_400,
     total_ops: int = 150_000,
     seed: int = 0xC0FFEE,
+    backend: str = "des",
     workers: Optional[int] = None,
     cache=None,
     supervise=None,
 ) -> Fig8Result:
     """Fig. 8: the §4.3 numactl-bound YCSB-C pair."""
     spec = fig8_sweep_spec(
-        record_count=record_count, total_ops=total_ops, seed=seed
+        record_count=record_count, total_ops=total_ops, seed=seed,
+        backend=backend,
     )
     sweep = run_sweep(spec, workers=workers, cache=cache,
                       supervise=supervise).raise_failures()

@@ -1,0 +1,78 @@
+"""Closed-form loaded-latency curves (the Fig. 3 / Fig. 4 fast path).
+
+The DES probe (:class:`repro.workloads.mlc.MlcProbe`) prices every load
+point by running the platform's mix-aware max-min allocator.  With a
+single probe flow the allocator has a closed form (see
+:func:`repro.analytic.model.single_flow_operating_point`), so the
+analytical probe evaluates each sweep point directly:
+
+    achieved = min(offered, min_r  curve_r(wf) * derating_r)
+    u        = achieved / chain capacity
+    latency  = idle(wf) + amplitude * u**sharpness * min(1/(1-u), qmax)
+
+plus the same write-share overload droop on remote paths past
+saturation.  The result is *exact* — bit-identical ``MlcCurve`` points
+— because both backends interpolate the same ``PeakBandwidthCurve``
+knots and share the same :class:`~repro.hw.latency.LoadedLatencyModel`;
+what the fast path skips is the allocator's per-point iteration.
+
+Background flows (the bandwidth-contention ablations) genuinely couple
+demands, so :class:`AnalyticMlcProbe` falls back to the allocator for
+those points; none of the stock fig3/fig4 sweeps pass background flows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..hw.paths import MemoryPath
+from ..workloads.mlc import MlcCurve, MlcPoint, MlcProbe
+from .model import single_flow_operating_point
+
+__all__ = ["AnalyticMlcProbe"]
+
+
+class AnalyticMlcProbe(MlcProbe):
+    """Drop-in :class:`~repro.workloads.mlc.MlcProbe` without the DES.
+
+    Same constructor, same ``loaded_latency_curve`` signature, same
+    ``MlcCurve`` output; the matrix modes are inherited unchanged.
+    """
+
+    def loaded_latency_curve(
+        self,
+        path: MemoryPath,
+        reads: int,
+        writes: int,
+        load_points: Optional[Sequence[float]] = None,
+        background: Sequence[Tuple[MemoryPath, float, float]] = (),
+    ) -> MlcCurve:
+        if background:
+            # Coupled demands have no single-flow closed form; use the
+            # allocator-backed probe for exactness.
+            return super().loaded_latency_curve(
+                path, reads, writes, load_points=load_points,
+                background=background,
+            )
+        if reads < 0 or writes < 0 or reads + writes == 0:
+            raise WorkloadError("invalid read:write mix")
+        write_fraction = writes / (reads + writes)
+        if load_points is None:
+            import numpy as np
+
+            load_points = list(np.linspace(0.02, 1.15, 24))
+
+        peak = path.peak_bandwidth(write_fraction)
+        points: List[MlcPoint] = []
+        for fraction in load_points:
+            if fraction <= 0:
+                raise WorkloadError("load fractions must be positive")
+            offered = fraction * peak
+            achieved, utilization = single_flow_operating_point(
+                self.platform, path, offered, write_fraction
+            )
+            latency = path.loaded_latency_ns(utilization, write_fraction)
+            achieved = self._overload_droop(path, write_fraction, offered, achieved)
+            points.append(MlcPoint(offered, achieved, latency))
+        return MlcCurve(path.kind.value, write_fraction, points)

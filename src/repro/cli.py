@@ -108,8 +108,22 @@ def _health_note(tag: str) -> None:
               file=sys.stderr, flush=True)
 
 
+def _guard_backend(args: argparse.Namespace, target: str) -> None:
+    """Reject ``--backend analytic`` on targets without a fast path.
+
+    ``auto`` is always legal: the router keeps transient-shaped targets
+    on the DES (see :mod:`repro.analytic.select`), so the command runs
+    identically to ``des``.
+    """
+    if getattr(args, "backend", "des") == "analytic":
+        from .analytic.select import require_analytic
+
+        require_analytic(target)
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
     panels = fig3_loaded_latency(load_points=8 if args.quick else 24,
+                                 backend=args.backend,
                                  workers=args.workers,
                                  cache=_open_cache(args),
                                  supervise=_supervise(args))
@@ -125,6 +139,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
     data = fig4_path_comparison(load_points=8 if args.quick else 24,
+                                backend=args.backend,
                                 workers=args.workers,
                                 cache=_open_cache(args),
                                 supervise=_supervise(args))
@@ -147,6 +162,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     scale = (16_384, 20_000) if args.quick else (65_536, 100_000)
     result = fig5_keydb(record_count=scale[0], total_ops=scale[1],
+                        backend=args.backend,
                         workers=args.workers, cache=_open_cache(args),
                         supervise=_supervise(args))
     _health_note("fig5")
@@ -159,6 +175,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
+    _guard_backend(args, "fig7")
     results = fig7_spark(workers=args.workers, cache=_open_cache(args),
                          supervise=_supervise(args))
     _health_note("fig7")
@@ -178,6 +195,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 def _cmd_fig8(args: argparse.Namespace) -> int:
     scale = (20_480, 20_000) if args.quick else (102_400, 150_000)
     pair = fig8_cxl_only(record_count=scale[0], total_ops=scale[1],
+                         backend=args.backend,
                          workers=args.workers, cache=_open_cache(args),
                          supervise=_supervise(args))
     _health_note("fig8")
@@ -198,6 +216,7 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig10(args: argparse.Namespace) -> int:
+    _guard_backend(args, "fig10")
     result = fig10_llm(workers=args.workers, cache=_open_cache(args),
                        supervise=_supervise(args))
     _health_note("fig10")
@@ -291,6 +310,8 @@ def _cmd_faults_run(args: argparse.Namespace) -> int:
     from .faults import FAULT_APPS, SCENARIOS, fault_sweep_spec
     from .parallel import run_sweep
 
+    _guard_backend(args, "faults")
+
     if args.scenario not in SCENARIOS:
         print(f"error: unknown fault scenario {args.scenario!r}; expected one "
               f"of {sorted(SCENARIOS)}", file=sys.stderr)
@@ -335,6 +356,8 @@ def _cmd_overload_sweep(args: argparse.Namespace) -> int:
 
     from .errors import ConfigurationError
     from .overload import sweep_offered_load
+
+    _guard_backend(args, "overload")
 
     try:
         factors = [float(f) for f in args.factors.split(",") if f.strip()]
@@ -398,6 +421,8 @@ def _cmd_overload_faults(args: argparse.Namespace) -> int:
 
     from .errors import ConfigurationError
     from .overload import run_fault_comparison
+
+    _guard_backend(args, "overload")
 
     record_count = 4096 if args.quick else 16_384
     duration_ns = 20e6 if args.quick else 40e6
@@ -523,29 +548,43 @@ def stock_sweep_spec(
     quick: bool = False,
     seed: int = 0xC0FFEE,
     mode: str = "controlled",
+    backend: str = "des",
 ):
     """The observed sweep spec for one stock target, at a scale.
 
-    Shared by ``repro sweep`` and the chaos harness
-    (``python -m repro.parallel.chaos``) so both execute the exact same
-    points — which is what makes their exports byte-comparable.
+    Shared by ``repro sweep``, ``repro serve`` job specs and the chaos
+    harness (``python -m repro.parallel.chaos``) so all execute the
+    exact same points — which is what makes their exports
+    byte-comparable.  ``backend`` picks the execution model on targets
+    with an analytical fast path (fig3/fig4/fig5/fig8); forcing
+    ``analytic`` on any other target is a configuration error, while
+    ``auto`` quietly keeps transient-shaped targets on the DES.
     """
+    if backend not in ("des", "analytic", "auto"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected one of "
+            f"('des', 'analytic', 'auto')"
+        )
+    if backend == "analytic":
+        from .analytic.select import require_analytic
+
+        require_analytic(target)
     if target == "fig3":
         from .analysis.figures import fig3_sweep_spec
 
         return fig3_sweep_spec(load_points=8 if quick else 24,
-                               seed=seed, observed=True)
+                               seed=seed, observed=True, backend=backend)
     if target == "fig4":
         from .analysis.figures import fig4_sweep_spec
 
         return fig4_sweep_spec(load_points=8 if quick else 24,
-                               seed=seed, observed=True)
+                               seed=seed, observed=True, backend=backend)
     if target == "fig5":
         from .analysis.figures import fig5_sweep_spec
 
         scale = (16_384, 20_000) if quick else (65_536, 100_000)
         return fig5_sweep_spec(record_count=scale[0], total_ops=scale[1],
-                               seed=seed, observed=True)
+                               seed=seed, observed=True, backend=backend)
     if target == "fig7":
         from .analysis.figures import fig7_sweep_spec
 
@@ -555,7 +594,7 @@ def stock_sweep_spec(
 
         scale = (20_480, 20_000) if quick else (102_400, 150_000)
         return fig8_sweep_spec(record_count=scale[0], total_ops=scale[1],
-                               seed=seed, observed=True)
+                               seed=seed, observed=True, backend=backend)
     if target == "fig10":
         from .analysis.figures import fig10_sweep_spec
 
@@ -581,8 +620,34 @@ def stock_sweep_spec(
 def _sweep_spec(args: argparse.Namespace):
     """The observed sweep spec for one CLI invocation's flags."""
     return stock_sweep_spec(
-        args.target, quick=args.quick, seed=args.seed, mode=args.mode
+        args.target, quick=args.quick, seed=args.seed, mode=args.mode,
+        backend=getattr(args, "backend", "des"),
     )
+
+
+def _backend_note(args: argparse.Namespace, spec) -> None:
+    """The ``--backend auto`` routing summary stderr line.
+
+    Mirrors the cache summary line's shape: per-sweep point counts per
+    backend plus the estimated DES events the analytic routing skipped.
+    """
+    if getattr(args, "backend", "des") != "auto":
+        return
+    from .analytic.select import (
+        estimated_events_avoided,
+        routing_summary,
+        select_backend,
+    )
+
+    decisions = [
+        (
+            select_backend(args.target, point.params),
+            estimated_events_avoided(args.target, point.params),
+        )
+        for point in spec.points
+    ]
+    print(f"[sweep {spec.name}] {routing_summary(decisions)}",
+          file=sys.stderr, flush=True)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -617,6 +682,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[sweep {spec.name}] cache: {cs.hits} hits, "
               f"{cs.misses} misses, {cs.evictions} evictions, "
               f"{cs.resumed} resumed", file=sys.stderr, flush=True)
+    _backend_note(args, spec)
     merged = merge_metrics_documents(
         [(pr.key, pr.value["metrics"]) for pr in sweep.results],
         generated_by=f"repro sweep {args.target}",
@@ -763,6 +829,13 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent sweep points "
              "(default: $REPRO_WORKERS, else 1; parallel results are "
              "bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=("des", "analytic", "auto"), default="des",
+        help="execution model: the discrete-event simulator, the "
+             "calibrated analytical fast path (steady-state targets "
+             "only), or per-point auto-routing (steady states -> "
+             "analytic, transients -> des)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",

@@ -15,6 +15,18 @@ Two shapes per family where needed:
   :class:`~repro.obs.registry.MetricsRegistry` and returns its
   ``repro.metrics/v1`` document, which ``repro sweep`` merges into one
   export (see :mod:`repro.parallel.merge`).
+
+Steady-state families additionally have ``*_analytic`` twins backed by
+:mod:`repro.analytic` (same signature, same return shape, no event
+loop) and — for fig5, whose grid mixes steady cells with the
+hot-promotion transient — an ``*_auto`` router that picks per point via
+:func:`repro.analytic.select.select_backend`.  Emission is shared:
+whichever backend produced a result, the observed document carries the
+same metric families, so merged exports are backend-agnostic.  Each
+non-DES task advertises its backend through a ``__repro_backend__``
+attribute, which the sweep cache folds into the point fingerprint so
+analytic and DES results never alias (see
+:func:`repro.cache.fingerprint.backend_identity`).
 """
 
 from __future__ import annotations
@@ -26,14 +38,24 @@ __all__ = [
     "demo_point_observed",
     "fig3_panel",
     "fig3_panel_observed",
+    "fig3_panel_analytic",
+    "fig3_panel_analytic_observed",
     "fig4_pattern_mix",
     "fig4_pattern_mix_observed",
+    "fig4_pattern_mix_analytic",
+    "fig4_pattern_mix_analytic_observed",
     "fig5_cell",
     "fig5_cell_observed",
+    "fig5_cell_analytic",
+    "fig5_cell_analytic_observed",
+    "fig5_cell_auto",
+    "fig5_cell_auto_observed",
     "fig7_config",
     "fig7_config_observed",
     "fig8_cell",
     "fig8_cell_observed",
+    "fig8_cell_analytic",
+    "fig8_cell_analytic_observed",
     "fig10_config",
     "fig10_config_observed",
     "overload_point",
@@ -41,6 +63,23 @@ __all__ = [
     "fault_case",
     "fault_case_observed",
 ]
+
+
+def _analytic_backend(params: Mapping[str, Any]):
+    """``__repro_backend__`` of every pure-analytic task (lazy import)."""
+    from ..analytic.model import ANALYTIC_MODEL_VERSION
+
+    return ("analytic", ANALYTIC_MODEL_VERSION)
+
+
+def _fig5_auto_backend(params: Mapping[str, Any]):
+    """``__repro_backend__`` of the fig5 router: resolved per point."""
+    from ..analytic.model import ANALYTIC_MODEL_VERSION
+    from ..analytic.select import select_backend
+
+    if select_backend("fig5", params) == "analytic":
+        return ("analytic", ANALYTIC_MODEL_VERSION)
+    return ("des", 0)
 
 
 def demo_point(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
@@ -113,12 +152,10 @@ def fig3_panel(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
-def fig3_panel_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
-    """A Fig. 3 panel plus its ``repro.metrics/v1`` snapshot."""
+def _fig3_document(curves: Dict[str, Any], panel: str) -> Dict[str, Any]:
+    """The observed document of one fig3 panel (backend-agnostic)."""
     from ..obs.registry import MetricsRegistry
 
-    curves = fig3_panel(params, seed)
-    panel = params["panel"]
     registry = MetricsRegistry()
     gauge = registry.gauge(
         "mlc_curve", "loaded-latency curve endpoints",
@@ -133,6 +170,41 @@ def fig3_panel_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
         rows.append((f"{mix} idle ns", f"{curve.idle_latency_ns:.1f}"))
         rows.append((f"{mix} peak GB/s", f"{curve.peak_bandwidth_gbps:.1f}"))
     return {"rows": rows, "metrics": registry.as_dict()}
+
+
+def fig3_panel_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 3 panel plus its ``repro.metrics/v1`` snapshot."""
+    return _fig3_document(fig3_panel(params, seed), params["panel"])
+
+
+def fig3_panel_analytic(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """The closed-form Fig. 3 panel: bit-identical curves, no DES."""
+    from ..analysis.figures import _panel_path
+    from ..analytic.mlc import AnalyticMlcProbe
+    from ..hw.presets import paper_cxl_platform
+
+    platform = paper_cxl_platform(snc_enabled=True)
+    probe = AnalyticMlcProbe(platform, threads=int(params.get("threads", 16)))
+    path = _panel_path(platform, params["panel"])
+    return {
+        f"{r}:{w}": probe.loaded_latency_curve(
+            path, r, w, load_points=list(params["fractions"])
+        )
+        for r, w in params["mixes"]
+    }
+
+
+fig3_panel_analytic.__repro_backend__ = _analytic_backend
+
+
+def fig3_panel_analytic_observed(
+    params: Mapping[str, Any], seed: int
+) -> Dict[str, Any]:
+    """An analytic Fig. 3 panel plus its ``repro.metrics/v1`` snapshot."""
+    return _fig3_document(fig3_panel_analytic(params, seed), params["panel"])
+
+
+fig3_panel_analytic_observed.__repro_backend__ = _analytic_backend
 
 
 def fig4_pattern_mix(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
@@ -153,14 +225,12 @@ def fig4_pattern_mix(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
-def fig4_pattern_mix_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
-    """A Fig. 4 cell plus its ``repro.metrics/v1`` snapshot."""
+def _fig4_document(
+    per_panel: Dict[str, Any], pattern: str, mix: str
+) -> Dict[str, Any]:
+    """The observed document of one fig4 cell (backend-agnostic)."""
     from ..obs.registry import MetricsRegistry
 
-    per_panel = fig4_pattern_mix(params, seed)
-    pattern = params["pattern"]
-    r, w = params["mix"]
-    mix = f"{r}:{w}"
     registry = MetricsRegistry()
     gauge = registry.gauge(
         "mlc_curve", "loaded-latency curve endpoints",
@@ -175,6 +245,50 @@ def fig4_pattern_mix_observed(params: Mapping[str, Any], seed: int) -> Dict[str,
         rows.append((f"{panel} idle ns", f"{curve.idle_latency_ns:.1f}"))
         rows.append((f"{panel} peak GB/s", f"{curve.peak_bandwidth_gbps:.1f}"))
     return {"rows": rows, "metrics": registry.as_dict()}
+
+
+def fig4_pattern_mix_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 4 cell plus its ``repro.metrics/v1`` snapshot."""
+    r, w = params["mix"]
+    return _fig4_document(
+        fig4_pattern_mix(params, seed), params["pattern"], f"{r}:{w}"
+    )
+
+
+def fig4_pattern_mix_analytic(
+    params: Mapping[str, Any], seed: int
+) -> Dict[str, Any]:
+    """The closed-form Fig. 4 cell: bit-identical curves, no DES."""
+    from ..analysis.figures import FIG3_PANELS, _panel_path
+    from ..analytic.mlc import AnalyticMlcProbe
+    from ..hw.presets import paper_cxl_platform
+
+    platform = paper_cxl_platform(snc_enabled=True)
+    probe = AnalyticMlcProbe(platform, threads=16, pattern=params["pattern"])
+    r, w = params["mix"]
+    return {
+        panel: probe.loaded_latency_curve(
+            _panel_path(platform, panel), r, w,
+            load_points=list(params["fractions"]),
+        )
+        for panel in FIG3_PANELS
+    }
+
+
+fig4_pattern_mix_analytic.__repro_backend__ = _analytic_backend
+
+
+def fig4_pattern_mix_analytic_observed(
+    params: Mapping[str, Any], seed: int
+) -> Dict[str, Any]:
+    """An analytic Fig. 4 cell plus its ``repro.metrics/v1`` snapshot."""
+    r, w = params["mix"]
+    return _fig4_document(
+        fig4_pattern_mix_analytic(params, seed), params["pattern"], f"{r}:{w}"
+    )
+
+
+fig4_pattern_mix_analytic_observed.__repro_backend__ = _analytic_backend
 
 
 # -- Fig. 5 / Fig. 8 (KeyDB YCSB) -------------------------------------------
@@ -193,12 +307,10 @@ def fig5_cell(params: Mapping[str, Any], seed: int):
     )
 
 
-def fig5_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
-    """A Fig. 5 cell plus its ``repro.metrics/v1`` snapshot."""
+def _fig5_document(result, config: str, workload: str) -> Dict[str, Any]:
+    """The observed document of one fig5 cell (backend-agnostic)."""
     from ..obs.registry import MetricsRegistry, histogram_samples
 
-    result = fig5_cell(params, seed)
-    config, workload = params["config"], params["workload"]
     registry = MetricsRegistry()
     labels = {"config": config, "workload": workload}
     result.counters.register_into(registry, "keydb_ops", labels=dict(labels))
@@ -229,6 +341,63 @@ def fig5_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+def fig5_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 5 cell plus its ``repro.metrics/v1`` snapshot."""
+    return _fig5_document(
+        fig5_cell(params, seed), params["config"], params["workload"]
+    )
+
+
+def fig5_cell_analytic(params: Mapping[str, Any], seed: int):
+    """One Fig. 5 cell on the analytical steady-state backend."""
+    from ..analytic.keydb import analytic_keydb_config
+
+    return analytic_keydb_config(
+        params["config"],
+        workload=params["workload"],
+        record_count=int(params["record_count"]),
+        total_ops=int(params["total_ops"]),
+        seed=seed,
+    )
+
+
+fig5_cell_analytic.__repro_backend__ = _analytic_backend
+
+
+def fig5_cell_analytic_observed(
+    params: Mapping[str, Any], seed: int
+) -> Dict[str, Any]:
+    """An analytic Fig. 5 cell plus its ``repro.metrics/v1`` snapshot."""
+    return _fig5_document(
+        fig5_cell_analytic(params, seed), params["config"], params["workload"]
+    )
+
+
+fig5_cell_analytic_observed.__repro_backend__ = _analytic_backend
+
+
+def fig5_cell_auto(params: Mapping[str, Any], seed: int):
+    """One Fig. 5 cell, backend picked per point (``--backend auto``)."""
+    from ..analytic.select import select_backend
+
+    if select_backend("fig5", params) == "analytic":
+        return fig5_cell_analytic(params, seed)
+    return fig5_cell(params, seed)
+
+
+fig5_cell_auto.__repro_backend__ = _fig5_auto_backend
+
+
+def fig5_cell_auto_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """An auto-routed Fig. 5 cell plus its ``repro.metrics/v1`` snapshot."""
+    return _fig5_document(
+        fig5_cell_auto(params, seed), params["config"], params["workload"]
+    )
+
+
+fig5_cell_auto_observed.__repro_backend__ = _fig5_auto_backend
+
+
 def fig8_cell(params: Mapping[str, Any], seed: int):
     """One Fig. 8 half: YCSB-C bound entirely to MMEM or to CXL."""
     from ..apps.kvstore import run_keydb_cxl_only
@@ -241,12 +410,10 @@ def fig8_cell(params: Mapping[str, Any], seed: int):
     )
 
 
-def fig8_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
-    """A Fig. 8 half plus its ``repro.metrics/v1`` snapshot."""
+def _fig8_document(result, side: str) -> Dict[str, Any]:
+    """The observed document of one fig8 half (backend-agnostic)."""
     from ..obs.registry import MetricsRegistry
 
-    result = fig8_cell(params, seed)
-    side = "cxl" if params["on_cxl"] else "mmem"
     registry = MetricsRegistry()
     gauge = registry.gauge(
         "keydb_cxl_only", "numactl-bound YCSB-C run", ("side", "quantity")
@@ -263,6 +430,38 @@ def fig8_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
         ("read p99 us", f"{p99 / 1e3:.1f}"),
     ]
     return {"rows": rows, "metrics": registry.as_dict()}
+
+
+def fig8_cell_observed(params: Mapping[str, Any], seed: int) -> Dict[str, Any]:
+    """A Fig. 8 half plus its ``repro.metrics/v1`` snapshot."""
+    result = fig8_cell(params, seed)
+    return _fig8_document(result, "cxl" if params["on_cxl"] else "mmem")
+
+
+def fig8_cell_analytic(params: Mapping[str, Any], seed: int):
+    """One Fig. 8 half on the analytical steady-state backend."""
+    from ..analytic.keydb import analytic_keydb_cxl_only
+
+    return analytic_keydb_cxl_only(
+        bool(params["on_cxl"]),
+        int(params["record_count"]),
+        int(params["total_ops"]),
+        seed,
+    )
+
+
+fig8_cell_analytic.__repro_backend__ = _analytic_backend
+
+
+def fig8_cell_analytic_observed(
+    params: Mapping[str, Any], seed: int
+) -> Dict[str, Any]:
+    """An analytic Fig. 8 half plus its ``repro.metrics/v1`` snapshot."""
+    result = fig8_cell_analytic(params, seed)
+    return _fig8_document(result, "cxl" if params["on_cxl"] else "mmem")
+
+
+fig8_cell_analytic_observed.__repro_backend__ = _analytic_backend
 
 
 # -- Fig. 7 (Spark) ----------------------------------------------------------

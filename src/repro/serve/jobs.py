@@ -97,7 +97,8 @@ def build_sweep_spec(spec: JobSpec) -> SweepSpec:
         from ..cli import stock_sweep_spec
 
         sweep = stock_sweep_spec(spec.target, quick=spec.quick,
-                                 seed=spec.seed, mode=spec.mode)
+                                 seed=spec.seed, mode=spec.mode,
+                                 backend=spec.backend)
     if spec.chaos is not None:
         from ..parallel.chaos import ChaosPlan, chaos_wrap
 

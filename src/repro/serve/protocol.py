@@ -119,6 +119,8 @@ class JobSpec:
     quick: bool = True
     seed: int = 0xC0FFEE
     mode: str = "controlled"
+    #: Sweep backend: "des", "analytic", or "auto" (per-point routing).
+    backend: str = "des"
     #: Sweep worker processes (None = the server's default).
     workers: Optional[int] = None
     #: Wall-clock completion budget in seconds (None = server default;
@@ -149,6 +151,17 @@ class JobSpec:
                 f"mode must be 'controlled' or 'uncontrolled', got "
                 f"{self.mode!r}"
             )
+        if self.backend not in ("des", "analytic", "auto"):
+            raise ConfigurationError(
+                f"backend must be 'des', 'analytic', or 'auto', got "
+                f"{self.backend!r}"
+            )
+        if self.backend == "analytic":
+            # Reject a forced-analytic spec for a target without a fast
+            # path at submission (HTTP 400), not when the job runs.
+            from ..analytic.select import require_analytic
+
+            require_analytic(self.target)
         if self.seed < 0:
             raise ConfigurationError("seed must be non-negative")
         if self.workers is not None and self.workers < 1:
@@ -200,6 +213,8 @@ class JobSpec:
                 kwargs["seed"] = int(payload["seed"])
             if "mode" in payload:
                 kwargs["mode"] = str(payload["mode"])
+            if "backend" in payload:
+                kwargs["backend"] = str(payload["backend"])
             if payload.get("workers") is not None:
                 kwargs["workers"] = int(payload["workers"])
             if payload.get("deadline_s") is not None:
@@ -232,6 +247,8 @@ class JobSpec:
             "mode": self.mode,
             "retries": self.retries,
         }
+        if self.backend != "des":
+            doc["backend"] = self.backend
         if self.workers is not None:
             doc["workers"] = self.workers
         if self.deadline_s is not None:

@@ -1,0 +1,64 @@
+"""Repository hygiene guards.
+
+A stale ``src/repro/analytic/__pycache__/`` once shipped compiled
+remnants of a package that no longer existed — importable bytecode with
+no source, invisible to review.  These guards fail fast on both ways
+that happens: bytecode tracked by git, and orphaned ``__pycache__``
+directories whose parent has no Python source.
+"""
+
+import os
+import subprocess
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _tracked_files():
+    out = subprocess.run(
+        ["git", "ls-files"], cwd=REPO_ROOT, capture_output=True, text=True,
+        check=True,
+    )
+    return out.stdout.splitlines()
+
+
+class TestNoBytecodeInGit:
+    def test_no_tracked_pycache_or_pyc(self):
+        offenders = [
+            path for path in _tracked_files()
+            if "__pycache__" in path or path.endswith((".pyc", ".pyo"))
+        ]
+        assert not offenders, f"bytecode tracked by git: {offenders}"
+
+
+class TestNoOrphanedPycache:
+    def test_every_pycache_has_live_source(self):
+        """A ``__pycache__`` whose parent has no ``.py`` files is a
+        remnant of a deleted package — importable bytecode with no
+        source behind it."""
+        orphans = []
+        for dirpath, dirnames, _ in os.walk(SRC):
+            if "__pycache__" not in dirnames:
+                continue
+            parent_sources = [
+                name for name in os.listdir(dirpath)
+                if name.endswith(".py")
+            ]
+            if not parent_sources:
+                orphans.append(os.path.join(dirpath, "__pycache__"))
+        assert not orphans, f"orphaned __pycache__ dirs: {orphans}"
+
+    def test_no_sourceless_bytecode(self):
+        """Every ``.pyc`` under src/ must shadow an existing module."""
+        stale = []
+        for dirpath, _, filenames in os.walk(SRC):
+            if os.path.basename(dirpath) != "__pycache__":
+                continue
+            parent = os.path.dirname(dirpath)
+            for name in filenames:
+                if not name.endswith(".pyc"):
+                    continue
+                module = name.split(".", 1)[0] + ".py"
+                if not os.path.exists(os.path.join(parent, module)):
+                    stale.append(os.path.join(dirpath, name))
+        assert not stale, f"bytecode without source: {stale}"
